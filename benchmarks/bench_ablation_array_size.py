@@ -1,0 +1,57 @@
+"""Ablation: array size.
+
+The RSP template applies to any rectangular array.  This ablation compares
+4x4, 8x8 and 16x16 instances of the Base / RS#2 / RSP#2 designs: the area
+saving of sharing grows with the array (more PEs amortise each shared
+multiplier's bus switch), while the critical-path behaviour is unchanged.
+"""
+
+from __future__ import annotations
+
+from repro.arch import base_architecture, rs_architecture, rsp_architecture
+from repro.utils.tabulate import format_table
+
+
+def sweep_array_sizes(cost_model, timing_model):
+    rows = []
+    for size in (4, 8, 16):
+        base = base_architecture(size, size)
+        for factory, label in ((None, "Base"), (rs_architecture, "RS#2"), (rsp_architecture, "RSP#2")):
+            if factory is None:
+                spec = base
+            else:
+                spec = factory(2, rows=size, cols=size).with_name(f"{label} {size}x{size}")
+            rows.append(
+                [
+                    f"{size}x{size}",
+                    label,
+                    round(cost_model.array_area(spec), 0),
+                    round(cost_model.area_reduction_percent(spec, base), 2),
+                    round(timing_model.critical_path_ns(spec), 2),
+                    round(timing_model.delay_reduction_percent(spec, base), 2),
+                ]
+            )
+    return rows
+
+
+def test_ablation_array_size(benchmark, cost_model, timing_model):
+    rows = benchmark.pedantic(
+        sweep_array_sizes, args=(cost_model, timing_model), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["array", "design", "area (slices)", "area R(%)", "delay (ns)", "delay R(%)"],
+            title="Ablation: RSP template scaled to different array sizes",
+        )
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    # Sharing saves area at every size, and the relative saving is largest
+    # on the biggest array (row sharing amortises better over 16 columns).
+    reductions = [by_key[(f"{size}x{size}", "RS#2")][3] for size in (4, 8, 16)]
+    assert all(value > 0 for value in reductions)
+    assert reductions[2] >= reductions[1] >= reductions[0]
+    # The critical-path improvement of RSP#2 does not depend on the size.
+    delay_reductions = {size: by_key[(f"{size}x{size}", "RSP#2")][5] for size in (4, 8, 16)}
+    assert max(delay_reductions.values()) - min(delay_reductions.values()) < 1e-6

@@ -1,0 +1,58 @@
+"""Ablation: row data-bus bandwidth.
+
+The paper's base architecture gives every row two read buses and one write
+bus.  This ablation varies the number of read buses and shows how the
+memory bandwidth bounds the achievable multiplications per cycle (the
+"Mult No" of Table 3) and the base cycle count of the MAC-style kernels.
+"""
+
+from __future__ import annotations
+
+from repro.arch import ArchitectureSpec, ArraySpec, RowBusSpec
+from repro.kernels import get_kernel
+from repro.mapping import LoopPipeliningScheduler
+from repro.utils.tabulate import format_table
+
+
+def architecture_with_read_buses(read_buses: int) -> ArchitectureSpec:
+    return ArchitectureSpec(
+        name=f"Base/{read_buses}rd",
+        array=ArraySpec(rows=8, cols=8, row_buses=RowBusSpec(read_buses=read_buses, write_buses=1)),
+    )
+
+
+def sweep_bus_bandwidth():
+    rows = []
+    kernels = {name: get_kernel(name) for name in ("Inner product", "MVM")}
+    dfgs = {name: kernel.build() for name, kernel in kernels.items()}
+    for read_buses in (1, 2, 4, 8):
+        spec = architecture_with_read_buses(read_buses)
+        row = [spec.name, read_buses]
+        for name in ("Inner product", "MVM"):
+            schedule = LoopPipeliningScheduler(spec).schedule(dfgs[name], kernel_name=name)
+            row.extend([schedule.length, schedule.max_multiplications_per_cycle()])
+        rows.append(row)
+    return rows
+
+
+def test_ablation_bus_bandwidth(benchmark):
+    rows = benchmark.pedantic(sweep_bus_bandwidth, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["design", "read buses/row", "InnerP cycles", "InnerP mult/cyc",
+                     "MVM cycles", "MVM mult/cyc"],
+            title="Ablation: read-bus bandwidth vs. multiplication throughput",
+        )
+    )
+    by_buses = {row[1]: row for row in rows}
+    # With the paper's two read buses the MAC kernels reach 8 mults/cycle.
+    assert by_buses[2][3] == 8
+    assert by_buses[2][5] == 8
+    # Halving the bandwidth halves the sustainable multiplication rate and
+    # lengthens the schedule; adding bandwidth shortens it.
+    assert by_buses[1][3] <= 5
+    assert by_buses[1][2] > by_buses[2][2]
+    assert by_buses[8][2] <= by_buses[2][2]
+    assert by_buses[8][3] >= by_buses[2][3]

@@ -1,0 +1,59 @@
+"""Ablation: number of multiplier pipeline stages.
+
+The paper fixes the RSP multiplier at two stages.  This ablation sweeps
+1-4 stages at the RSP#2 sharing topology and reports the clock period,
+per-kernel cycle counts and total execution time, exposing the diminishing
+returns the paper alludes to ("multiplications take multiple cycles in the
+RSP architectures").
+"""
+
+from __future__ import annotations
+
+from repro.arch import rsp_architecture, rs_architecture
+from repro.core import TimingModel
+from repro.kernels import get_kernel
+from repro.utils.tabulate import format_table
+
+KERNELS = ("Hydro", "MVM", "2D-FDCT", "SAD")
+
+
+def sweep_pipeline_depth(mapper, timing_model):
+    rows = []
+    for stages in (1, 2, 3, 4):
+        if stages == 1:
+            spec = rs_architecture(2)
+        else:
+            spec = rsp_architecture(2, stages=stages).with_name(f"RSP#2/{stages}stage")
+        period = timing_model.critical_path_ns(spec)
+        total_time = 0.0
+        cycle_counts = []
+        for name in KERNELS:
+            result = mapper.map_kernel(get_kernel(name), spec)
+            cycle_counts.append(result.cycles)
+            total_time += result.cycles * period
+        rows.append([spec.name, stages, round(period, 2)] + cycle_counts + [round(total_time, 1)])
+    return rows
+
+
+def test_ablation_pipeline_depth(benchmark, mapper, timing_model):
+    rows = benchmark.pedantic(
+        sweep_pipeline_depth, args=(mapper, timing_model), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["design", "stages", "period (ns)"] + [f"{k} cyc" for k in KERNELS] + ["total ET (ns)"],
+            title="Ablation: multiplier pipeline depth at the #2 sharing topology",
+        )
+    )
+    periods = [row[2] for row in rows]
+    totals = [row[-1] for row in rows]
+    # The clock period shrinks monotonically with deeper pipelining...
+    assert periods == sorted(periods, reverse=True)
+    # ...and two stages already capture most of the execution-time benefit:
+    # the paper's choice of a two-stage multiplier is the knee of the curve.
+    assert totals[1] < totals[0]
+    gain_stage2 = totals[0] - totals[1]
+    gain_stage4 = max(0.0, totals[1] - totals[3])
+    assert gain_stage2 > gain_stage4

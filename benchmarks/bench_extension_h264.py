@@ -1,0 +1,67 @@
+"""Extension benchmark: the H.264 kernels the paper names as future work.
+
+Runs the RSP exploration and the per-design mapping for the H.264 pair
+(4x4 integer transform + six-tap half-pel interpolation) and checks that
+the paper's conclusions carry over to the new domain: the multiplier-free
+transform gains the full clock benefit, the interpolation filter needs the
+#2 sharing topology to run without stalls, and the selected design shares
+the multiplier.
+"""
+
+from __future__ import annotations
+
+from repro.core import TimingModel
+from repro.arch import base_architecture, paper_architectures
+from repro.eval.metrics import execution_time_ns
+from repro.flow import run_rsp_flow
+from repro.kernels.h264 import h264_kernels
+from repro.utils.tabulate import format_table
+
+
+def evaluate_h264_domain(mapper, timing_model):
+    rows = []
+    base = base_architecture()
+    for kernel in h264_kernels():
+        base_result = mapper.map_kernel(kernel, base)
+        base_time = execution_time_ns(base_result.cycles, timing_model.critical_path_ns(base))
+        for spec in paper_architectures():
+            result = mapper.map_kernel(kernel, spec)
+            period = timing_model.critical_path_ns(spec)
+            time = execution_time_ns(result.cycles, period)
+            rows.append(
+                [
+                    kernel.name,
+                    spec.name,
+                    result.cycles,
+                    result.stall_cycles,
+                    round(time, 1),
+                    round(100.0 * (base_time - time) / base_time, 2),
+                ]
+            )
+    return rows
+
+
+def test_h264_future_work_domain(benchmark, mapper, timing_model):
+    rows = benchmark.pedantic(
+        evaluate_h264_domain, args=(mapper, timing_model), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["kernel", "design", "cycles", "stalls", "ET (ns)", "DR (%)"],
+            title="H.264 extension kernels on the nine paper architectures",
+        )
+    )
+    by_key = {(row[0], row[1]): row for row in rows}
+    # The multiplier-free transform improves by the full clock gain on RSP#1.
+    assert by_key[("H264-IT4x4", "RSP#1")][5] > 30.0
+    assert by_key[("H264-IT4x4", "RSP#1")][3] == 0
+    # The interpolation filter stalls badly on RS#1, barely on RSP#2.
+    assert by_key[("H264-QPEL", "RS#1")][3] > 0
+    assert by_key[("H264-QPEL", "RSP#2")][3] <= 1
+    assert by_key[("H264-QPEL", "RSP#2")][3] < by_key[("H264-QPEL", "RS#1")][3]
+    # The domain-level exploration still selects a sharing design.
+    outcome = run_rsp_flow(h264_kernels())
+    assert outcome.exploration.selected is not None
+    assert outcome.exploration.selected.parameters.uses_sharing

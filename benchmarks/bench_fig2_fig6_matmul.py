@@ -1,0 +1,77 @@
+"""Benchmark: regenerate paper Figures 2 and 6 (matrix-multiplication schedules).
+
+Figure 2: loop-pipelined schedule of an order-4 matrix multiplication on a
+4x4 array with combinational multipliers — at its peak the whole array
+multiplies at once, so many multipliers must be provisioned.  Figure 6: the
+same kernel when the multiplier is pipelined into two stages — new
+multiplications start at most one per column per cycle, so one shared
+pipelined multiplier per row (4 in total) suffices.
+
+The paper's figure assumes the operands are already staged at the PEs, so
+this benchmark gives the small 4x4 array generous row buses (4 read buses
+per row); the bus-bandwidth ablation covers the bandwidth-limited case.
+"""
+
+from __future__ import annotations
+
+from repro.arch import ArchitectureSpec, ArraySpec, PipeliningSpec, RowBusSpec, SharingTopology
+from repro.eval.figures import render_schedule_figure
+from repro.kernels import matrix_multiplication_column
+from repro.mapping.loop_pipelining import LoopPipeliningScheduler
+
+_BUSES = RowBusSpec(read_buses=4, write_buses=1)
+
+BASE_4X4 = ArchitectureSpec(
+    name="Base-4x4", array=ArraySpec(rows=4, cols=4, row_buses=_BUSES)
+)
+RSP1_4X4 = ArchitectureSpec(
+    name="RSP#1-4x4",
+    array=ArraySpec(rows=4, cols=4, row_buses=_BUSES),
+    sharing=SharingTopology(rows_shared=1, cols_shared=0),
+    pipelining=PipeliningSpec(stages=2),
+)
+
+
+def schedule_matmul_on(architecture):
+    kernel = matrix_multiplication_column(order=4)
+    return LoopPipeliningScheduler(architecture).schedule(kernel.build(), kernel_name=kernel.name)
+
+
+def test_fig2_base_matmul_schedule(benchmark):
+    schedule = benchmark(schedule_matmul_on, BASE_4X4)
+    print()
+    print(render_schedule_figure(schedule))
+    schedule.validate(matrix_multiplication_column(order=4).build())
+    # Figure 2's observation: with combinational multipliers many PEs
+    # multiply in the same cycle, so at least 8 multipliers are needed to
+    # avoid stalling the 4x4 array.
+    assert schedule.max_multiplications_per_cycle() >= 8
+
+
+def test_fig6_pipelined_matmul_schedule(benchmark):
+    schedule = benchmark(schedule_matmul_on, RSP1_4X4)
+    print()
+    print(render_schedule_figure(schedule))
+    # Figure 6's observation: with the two-stage shared multiplier at most
+    # one new multiplication starts per column per cycle, so the four
+    # row-shared multipliers sustain the kernel without stalls.
+    assert schedule.max_multiplication_issues_per_cycle() <= 4
+    base_schedule = schedule_matmul_on(BASE_4X4)
+    # The pipelined schedule is only marginally longer than the base one.
+    assert schedule.length <= base_schedule.length + 6
+
+
+def test_fig2_vs_fig6_multiplier_requirement(benchmark):
+    """Quantify the figure pair's headline: pipelining at least halves the multipliers needed."""
+
+    def concurrent_requirements():
+        base_schedule = schedule_matmul_on(BASE_4X4)
+        rsp_schedule = schedule_matmul_on(RSP1_4X4)
+        return (
+            base_schedule.max_multiplications_per_cycle(),
+            rsp_schedule.max_multiplication_issues_per_cycle(),
+        )
+
+    base_need, rsp_need = benchmark(concurrent_requirements)
+    print(f"\ncombinational multipliers needed: {base_need}, pipelined multiplier issue slots: {rsp_need}")
+    assert rsp_need <= base_need // 2

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate paper Figure 8 (the four RS/RSP sharing topologies).
+
+Instantiates the structural arrays of RS/RSP #1-#4, prints their ASCII
+renderings and checks the shared-multiplier counts and reachability.
+"""
+
+from __future__ import annotations
+
+from repro.arch import paper_architectures, rs_architecture, rsp_architecture
+from repro.eval.figures import render_sharing_topology
+
+#: Total shared multipliers of designs #1..#4 on the 8x8 array (Figure 8).
+EXPECTED_TOTALS = {1: 8, 2: 16, 3: 24, 4: 32}
+
+
+def build_all_topologies():
+    return {spec.name: spec.build_array() for spec in paper_architectures()}
+
+
+def test_fig8_sharing_topologies(benchmark):
+    arrays = benchmark(build_all_topologies)
+    print()
+    for spec in paper_architectures():
+        print(render_sharing_topology(spec))
+        print()
+    assert arrays["Base"].num_shared_units == 0
+    for design, expected_total in EXPECTED_TOTALS.items():
+        rs_array = arrays[f"RS#{design}"]
+        rsp_array = arrays[f"RSP#{design}"]
+        assert rs_array.num_shared_units == expected_total
+        assert rsp_array.num_shared_units == expected_total
+        assert all(not unit.is_pipelined for unit in rs_array.shared_units)
+        assert all(unit.pipeline_stages == 2 for unit in rsp_array.shared_units)
+        # Every PE reaches exactly rows_shared + cols_shared multipliers.
+        spec = rs_architecture(design)
+        expected_ports = spec.sharing.ports_per_pe()
+        for row in range(8):
+            for col in range(8):
+                assert len(rs_array.reachable_shared_units(row, col)) == expected_ports

@@ -1,0 +1,40 @@
+"""Benchmark: the paper's abstract/conclusion headline claims.
+
+"the RTL synthesis results show that our resource sharing and pipelining
+can reduce the area and the critical path delay by up to 42.8% and 34.69%
+respectively compared to the base architecture and the benchmark evaluation
+reveals the performance enhancement up to 35.7%."
+"""
+
+from __future__ import annotations
+
+from repro.eval.report import build_report
+from repro.synthesis import PAPER_HEADLINE
+from repro.utils.tabulate import format_table
+
+
+def test_headline_claims(benchmark, mapper, timing_model):
+    report = benchmark.pedantic(
+        build_report,
+        kwargs={"mapper": mapper, "timing_model": timing_model, "include_exploration": False},
+        rounds=1, iterations=1,
+    )
+    headline = report.headline
+    print()
+    print(
+        format_table(
+            [
+                ["max area reduction (%)", headline.max_area_reduction_percent,
+                 PAPER_HEADLINE["max_area_reduction_percent"]],
+                ["max delay reduction (%)", headline.max_delay_reduction_percent,
+                 PAPER_HEADLINE["max_delay_reduction_percent"]],
+                ["max performance improvement (%)", headline.max_performance_improvement_percent,
+                 PAPER_HEADLINE["max_performance_improvement_percent"]],
+            ],
+            headers=["claim", "measured", "paper"],
+            title="Headline claims, measured vs. paper",
+        )
+    )
+    assert abs(headline.max_area_reduction_percent - 42.8) < 10.0
+    assert abs(headline.max_delay_reduction_percent - 34.69) < 8.0
+    assert abs(headline.max_performance_improvement_percent - 35.7) < 10.0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate paper Table 1 (PE component synthesis result).
+
+The area and delay of every PE component, with the paper's published
+numbers side by side.
+"""
+
+from __future__ import annotations
+
+from repro.eval.tables import format_table1, table1_pe_components
+
+
+def test_table1_pe_components(benchmark):
+    rows = benchmark(table1_pe_components)
+    print()
+    print(format_table1(rows))
+    by_name = {row.component: row for row in rows}
+    assert by_name["PE"].area_slices == 910
+    assert by_name["Array multiplier"].area_ratio_percent > 40
+    assert by_name["Array multiplier"].delay_ratio_percent > 70
+    for row in rows:
+        assert row.area_slices == row.paper_area_slices
+        assert row.delay_ns == row.paper_delay_ns

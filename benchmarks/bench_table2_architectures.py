@@ -1,0 +1,28 @@
+"""Benchmark: regenerate paper Table 2 (area / critical path of the nine designs).
+
+The analytical synthesis surrogate evaluates Base, RS#1-4 and RSP#1-4 and
+prints area, delay and reduction ratios next to the published values.
+"""
+
+from __future__ import annotations
+
+from repro.eval.tables import format_table2, table2_architectures
+
+
+def test_table2_architecture_synthesis(benchmark, surrogate):
+    estimates = benchmark(table2_architectures, surrogate)
+    print()
+    print(format_table2(estimates))
+    by_name = {estimate.architecture: estimate for estimate in estimates}
+    # Paper shape: RS#1 is the smallest design, RSP#1 has the shortest path.
+    smallest = min(
+        (name for name in by_name if name != "Base"),
+        key=lambda name: by_name[name].array_area_slices,
+    )
+    fastest = min(by_name, key=lambda name: by_name[name].array_delay_ns)
+    assert smallest == "RS#1"
+    assert fastest == "RSP#1"
+    # Absolute deviations from the published synthesis stay small.
+    for estimate in estimates:
+        assert abs(estimate.area_error_percent) < 15
+        assert abs(estimate.delay_error_percent) < 10

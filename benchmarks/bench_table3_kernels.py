@@ -1,0 +1,30 @@
+"""Benchmark: regenerate paper Table 3 (kernel operation sets and mult pressure).
+
+Every kernel is mapped on the base 8x8 architecture; the benchmark reports
+its operation set and the peak number of multiplications in a cycle.
+"""
+
+from __future__ import annotations
+
+from repro.eval.tables import format_table3, table3_kernels
+from repro.kernels import PAPER_TABLE3
+
+
+def test_table3_kernel_characterisation(benchmark, mapper):
+    rows = benchmark.pedantic(table3_kernels, kwargs={"mapper": mapper}, rounds=1, iterations=1)
+    print()
+    print(format_table3(rows))
+    by_name = {row.kernel: row for row in rows}
+    assert set(by_name) == set(PAPER_TABLE3)
+    # SAD is the only kernel without multiplications (paper: Mult No = 0).
+    assert by_name["SAD"].max_multiplications == 0
+    for name, row in by_name.items():
+        if name != "SAD":
+            assert row.max_multiplications > 0
+    # Memory bandwidth limits the MAC kernels to the paper's 8 mults/cycle.
+    assert by_name["Inner product"].max_multiplications == 8
+    assert by_name["MVM"].max_multiplications == 8
+    # 2D-FDCT has the highest multiplication pressure, as in the paper.
+    assert by_name["2D-FDCT"].max_multiplications == max(
+        row.max_multiplications for row in rows
+    )

@@ -1,0 +1,38 @@
+"""Benchmark: regenerate paper Table 5 (2D-FDCT, SAD, MVM and FFT).
+
+Reports cycles, execution time, delay reduction and stalls for the DSP
+kernels on every paper architecture.
+"""
+
+from __future__ import annotations
+
+from repro.eval.tables import format_performance_table, table5_dsp
+
+
+def test_table5_dsp_kernels(benchmark, mapper, timing_model):
+    table = benchmark.pedantic(
+        table5_dsp, kwargs={"mapper": mapper, "timing_model": timing_model},
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_performance_table(table))
+    assert table.kernels == ["2D-FDCT", "SAD", "MVM", "FFT"]
+
+    # SAD has no multiplications: identical cycle counts everywhere, and the
+    # largest improvement of all kernels on the RSP designs (paper: 35.7%).
+    sad_cycles = {arch: table.record("SAD", arch).cycles for arch in table.architectures}
+    assert len(set(sad_cycles.values())) == 1
+    sad_best = table.best_delay_reduction("SAD")
+    assert sad_best.architecture == "RSP#1"
+    assert 25.0 <= sad_best.delay_reduction <= 45.0
+
+    # 2D-FDCT is the stress case for sharing: RS#1 stalls badly, RS#2 less,
+    # and the RSP designs need fewer stalls than their RS counterparts.
+    fdct_rs1 = table.record("2D-FDCT", "RS#1")
+    fdct_rs2 = table.record("2D-FDCT", "RS#2")
+    assert fdct_rs1.stalls > fdct_rs2.stalls > 0
+    assert table.record("2D-FDCT", "RSP#2").stalls <= fdct_rs2.stalls
+
+    # MVM and FFT improve on RSP#2 (the paper's selected design).
+    assert table.record("MVM", "RSP#2").delay_reduction > 0
+    assert table.record("FFT", "RSP#2").delay_reduction > 0

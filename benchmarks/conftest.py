@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+reproduced rows next to the published values (run with ``-s`` to see them).
+The mapper is session-scoped so base schedules are computed only once per
+benchmark session.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import HardwareCostModel, TimingModel
+from repro.mapping import RSPMapper
+from repro.synthesis import SynthesisSurrogate
+
+
+@pytest.fixture(scope="session")
+def mapper():
+    return RSPMapper()
+
+
+@pytest.fixture(scope="session")
+def timing_model():
+    return TimingModel()
+
+
+@pytest.fixture(scope="session")
+def cost_model():
+    return HardwareCostModel()
+
+
+@pytest.fixture(scope="session")
+def surrogate():
+    return SynthesisSurrogate()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Bring your own kernel: a FIR filter on the RSP template.
+
+The paper's flow is domain-specific: you profile *your* applications,
+express the critical loops as dataflow graphs and let the exploration pick
+the sharing/pipelining parameters.  This example does that for a 16-tap FIR
+filter (a loop the paper does not evaluate):
+
+1. describe one loop iteration with :class:`repro.ir.DFGBuilder`,
+2. wrap it in a :class:`repro.ir.Kernel`,
+3. run the RSP flow for this single-kernel domain,
+4. simulate the selected design and compare against a NumPy convolution.
+
+Run with:  python examples/custom_kernel.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.flow import run_rsp_flow
+from repro.ir import DFGBuilder, Kernel
+from repro.sim import ArraySimulator, DataMemory
+from repro.utils import format_table
+
+TAPS = 16
+OUTPUTS = 32
+
+
+def fir_body(builder: DFGBuilder, iteration: int, state: dict) -> None:
+    """One output sample: y[n] = sum_k h[k] * x[n + k] (correlation form)."""
+    products = []
+    for tap in range(TAPS):
+        sample = builder.load("x", iteration + tap)
+        coefficient = builder.load("h", tap)
+        products.append(builder.mul(sample, coefficient))
+    builder.store("y", iteration, builder.sum_tree(products))
+
+
+def make_fir_kernel() -> Kernel:
+    return Kernel(
+        name="FIR16",
+        body=fir_body,
+        iterations=OUTPUTS,
+        description="16-tap FIR filter, one output sample per iteration",
+        source="custom",
+    )
+
+
+def main() -> None:
+    kernel = make_fir_kernel()
+    outcome = run_rsp_flow([kernel])
+
+    print(
+        format_table(
+            outcome.exploration.summary_rows(),
+            headers=["design", "kind", "area", "period", "cycles", "ET(ns)", "stalls",
+                     "pareto", "selected"],
+            title="RSP exploration for the FIR-filter domain",
+        )
+    )
+    print(f"\nSelected design: {outcome.selected_name}")
+
+    # Simulate the FIR filter on the selected design and verify against NumPy.
+    target = outcome.selected_architecture or outcome.base_architecture
+    mapping = (
+        outcome.rsp_mappings.get(kernel.name)
+        or outcome.base_mappings[kernel.name]
+    )
+    rng = np.random.default_rng(42)
+    samples = rng.integers(-50, 50, size=OUTPUTS + TAPS)
+    coefficients = rng.integers(-8, 8, size=TAPS)
+    memory = DataMemory({"x": samples.tolist(), "h": coefficients.tolist()})
+    simulation = ArraySimulator().run(mapping.schedule, mapping.dfg, memory)
+    measured = np.array(simulation.memory.as_list("y", OUTPUTS))
+    expected = np.array(
+        [int(np.dot(samples[n : n + TAPS], coefficients)) for n in range(OUTPUTS)]
+    )
+    assert np.array_equal(measured, expected), "FIR simulation does not match NumPy"
+    print(
+        f"OK: {kernel.name} on {target.name} computes the reference result "
+        f"in {mapping.cycles} cycles ({mapping.stall_cycles} stall cycles)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's running example: matrix multiplication schedules.
+
+Prints the loop-pipelined schedule of an order-4 matrix multiplication on a
+4x4 array in three flavours:
+
+* the base architecture (paper Figure 2): every PE has its own multiplier
+  and at the peak the whole array multiplies simultaneously;
+* an RS design with one shared multiplier per row: the same schedule now
+  stalls when the four multipliers cannot serve all pending products;
+* the RSP design (paper Figure 6): the shared multipliers are pipelined
+  into two stages (``1*``/``2*`` in the rendering) and the schedule runs
+  without stalls on only four multipliers.
+
+Run with:  python examples/matmul_schedules.py
+"""
+
+from __future__ import annotations
+
+from repro.arch import (
+    ArchitectureSpec,
+    ArraySpec,
+    PipeliningSpec,
+    RowBusSpec,
+    SharingTopology,
+)
+from repro.eval.figures import render_schedule_figure, render_sharing_topology
+from repro.kernels import matrix_multiplication_column
+from repro.mapping import LoopPipeliningScheduler, evaluate_rearrangement
+
+#: Generous row buses: the figure assumes operands are staged at the PEs.
+_BUSES = RowBusSpec(read_buses=4, write_buses=1)
+_ARRAY = ArraySpec(rows=4, cols=4, row_buses=_BUSES)
+
+
+def architecture(name: str, rows_shared: int, stages: int) -> ArchitectureSpec:
+    return ArchitectureSpec(
+        name=name,
+        array=_ARRAY,
+        sharing=SharingTopology(rows_shared=rows_shared, cols_shared=0),
+        pipelining=PipeliningSpec(stages=stages),
+    )
+
+
+def main() -> None:
+    kernel = matrix_multiplication_column(order=4)
+    dfg = kernel.build()
+
+    base = ArchitectureSpec(name="Base 4x4", array=_ARRAY)
+    rs1 = architecture("RS (1 multiplier/row)", rows_shared=1, stages=1)
+    rsp1 = architecture("RSP (1 pipelined multiplier/row)", rows_shared=1, stages=2)
+
+    base_schedule = LoopPipeliningScheduler(base).schedule(dfg, kernel_name=kernel.name)
+    print(render_schedule_figure(base_schedule))
+    print()
+
+    for target in (rs1, rsp1):
+        print(render_sharing_topology(target))
+        summary = evaluate_rearrangement(base_schedule, dfg, target)
+        print(
+            f"  rearranged schedule: {summary.cycles} cycles "
+            f"({summary.stall_cycles} stall cycles, "
+            f"{summary.pipeline_overhead_cycles} pipeline-overhead cycles)"
+        )
+        rearranged = LoopPipeliningScheduler(target).schedule(dfg, kernel_name=kernel.name)
+        print()
+        print(render_schedule_figure(rearranged))
+        print()
+
+    print(
+        "Figure 2 vs Figure 6: the combinational schedule peaks at "
+        f"{base_schedule.max_multiplications_per_cycle()} simultaneous multiplications, "
+        "while the pipelined design issues at most "
+        f"{LoopPipeliningScheduler(rsp1).schedule(dfg).max_multiplication_issues_per_cycle()} "
+        "new multiplications per cycle — four shared multipliers suffice."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,6 @@
+"""Setup shim enabling legacy editable installs on environments without the
+``wheel`` package (the metadata lives in pyproject.toml)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro — reproduction of "Resource Sharing and Pipelining in Coarse-Grained
+Reconfigurable Architecture for Domain-Specific Optimization" (Kim, Kiemb,
+Park, Jung, Choi — DATE 2005).
+
+The package is organised as:
+
+* :mod:`repro.ir`        — kernel dataflow-graph IR and loop kernels,
+* :mod:`repro.kernels`   — the paper's Livermore/DSP kernels and the matmul example,
+* :mod:`repro.arch`      — the reconfigurable-array architecture template,
+* :mod:`repro.core`      — resource sharing/pipelining models and design-space exploration,
+* :mod:`repro.mapping`   — the loop-pipelining mapper and the RS/RP rearrangement,
+* :mod:`repro.sim`       — a cycle-accurate functional simulator,
+* :mod:`repro.synthesis` — the analytical synthesis surrogate and published reference data,
+* :mod:`repro.eval`      — regeneration of the paper's tables and figures,
+* :mod:`repro.flow`      — the end-to-end RSP design flow of paper Figure 7.
+
+Quick start::
+
+    from repro.arch import rsp_architecture
+    from repro.kernels import get_kernel
+    from repro.mapping import RSPMapper
+
+    mapper = RSPMapper()
+    result = mapper.map_kernel(get_kernel("MVM"), rsp_architecture(2))
+    print(result.cycles, result.stall_cycles)
+"""
+
+from repro.errors import (
+    ArchitectureError,
+    ComponentError,
+    ConfigurationError,
+    CostModelError,
+    DFGError,
+    DFGValidationError,
+    ExplorationError,
+    KernelError,
+    MappingError,
+    PlacementError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+    TimingModelError,
+    UnknownKernelError,
+    UnknownOperationError,
+)
+from repro.flow import FlowOutcome, run_rsp_flow
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ArchitectureError",
+    "ComponentError",
+    "ConfigurationError",
+    "CostModelError",
+    "DFGError",
+    "DFGValidationError",
+    "ExplorationError",
+    "KernelError",
+    "MappingError",
+    "PlacementError",
+    "ReproError",
+    "SchedulingError",
+    "SimulationError",
+    "TimingModelError",
+    "UnknownKernelError",
+    "UnknownOperationError",
+    "FlowOutcome",
+    "run_rsp_flow",
+    "__version__",
+]

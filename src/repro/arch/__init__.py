@@ -1,0 +1,68 @@
+"""Architecture substrate: components, PEs, buses, arrays and the RSP template."""
+
+from repro.arch.components import (
+    Component,
+    ComponentKind,
+    ComponentLibrary,
+    default_component_library,
+    PAPER_PE_AREA_SLICES,
+    PAPER_PE_CRITICAL_PATH_NS,
+    PAPER_SHARED_PE_AREA_SLICES,
+    PAPER_PIPELINED_PE_PATH_NS,
+)
+from repro.arch.bus import BusSwitchSpec, RowBusSpec
+from repro.arch.pe import PEConfig, ProcessingElement
+from repro.arch.config_cache import (
+    ConfigurationCacheSpec,
+    ConfigurationContext,
+    ConfigurationWord,
+    IDLE_WORD,
+)
+from repro.arch.array import ArraySpec, ReconfigurableArray, SharedResourceUnit, SharedUnitId
+from repro.arch.template import (
+    ArchitectureSpec,
+    PipeliningSpec,
+    SharingTopology,
+    PAPER_RSP_STAGES,
+    PAPER_SHARING_TOPOLOGIES,
+    architecture_by_name,
+    base_architecture,
+    default_array_spec,
+    paper_architectures,
+    rs_architecture,
+    rsp_architecture,
+)
+
+__all__ = [
+    "Component",
+    "ComponentKind",
+    "ComponentLibrary",
+    "default_component_library",
+    "PAPER_PE_AREA_SLICES",
+    "PAPER_PE_CRITICAL_PATH_NS",
+    "PAPER_SHARED_PE_AREA_SLICES",
+    "PAPER_PIPELINED_PE_PATH_NS",
+    "BusSwitchSpec",
+    "RowBusSpec",
+    "PEConfig",
+    "ProcessingElement",
+    "ConfigurationCacheSpec",
+    "ConfigurationContext",
+    "ConfigurationWord",
+    "IDLE_WORD",
+    "ArraySpec",
+    "ReconfigurableArray",
+    "SharedResourceUnit",
+    "SharedUnitId",
+    "ArchitectureSpec",
+    "PipeliningSpec",
+    "SharingTopology",
+    "PAPER_RSP_STAGES",
+    "PAPER_SHARING_TOPOLOGIES",
+    "architecture_by_name",
+    "base_architecture",
+    "default_array_spec",
+    "paper_architectures",
+    "rs_architecture",
+    "rsp_architecture",
+]

@@ -1,0 +1,228 @@
+"""Rectangular reconfigurable-array structural model.
+
+:class:`ArraySpec` captures the dimensions and data-bus configuration of
+the PE array (paper Figure 1); :class:`SharedResourceUnit` identifies one
+shared multiplier placed alongside a row or a column (paper Figures 3/8);
+and :class:`ReconfigurableArray` instantiates the PEs, bus switches and
+shared units of a concrete architecture so that the mapper and simulator
+can reason about reachability ("which shared multipliers can PE (r, c)
+use?").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.arch.bus import BusSwitchSpec, RowBusSpec
+from repro.arch.pe import PEConfig, ProcessingElement
+from repro.errors import ArchitectureError
+
+#: Identifier of a shared resource unit: ("row", row_index, ordinal) for a
+#: unit shared by the PEs of a row, ("col", col_index, ordinal) for a unit
+#: shared by the PEs of a column.
+SharedUnitId = Tuple[str, int, int]
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Dimensions and bus structure of the PE array.
+
+    Attributes
+    ----------
+    rows / cols:
+        Array dimensions (8x8 for the paper's base architecture).
+    row_buses:
+        Read/write data buses shared by each row (paper Figure 1(b)).
+    data_width_bits:
+        Datapath width (16 bits in the paper's base architecture).
+    """
+
+    rows: int = 8
+    cols: int = 8
+    row_buses: RowBusSpec = field(default_factory=RowBusSpec)
+    data_width_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ArchitectureError("array dimensions must be positive")
+        if self.data_width_bits <= 0:
+            raise ArchitectureError("data width must be positive")
+
+    @property
+    def num_pes(self) -> int:
+        """Total number of processing elements."""
+        return self.rows * self.cols
+
+    @property
+    def loads_per_cycle(self) -> int:
+        """Maximum operand loads the memory interface sustains per cycle."""
+        return self.rows * self.row_buses.read_buses
+
+    @property
+    def stores_per_cycle(self) -> int:
+        """Maximum result stores the memory interface sustains per cycle."""
+        return self.rows * self.row_buses.write_buses
+
+    def positions(self) -> List[Tuple[int, int]]:
+        """All (row, col) grid positions in row-major order."""
+        return [(row, col) for row in range(self.rows) for col in range(self.cols)]
+
+    def contains(self, row: int, col: int) -> bool:
+        """True when (row, col) is a valid PE position."""
+        return 0 <= row < self.rows and 0 <= col < self.cols
+
+
+@dataclass(frozen=True)
+class SharedResourceUnit:
+    """One shared critical resource (an array multiplier in the paper).
+
+    Attributes
+    ----------
+    unit_id:
+        Structural identifier (``("row", r, j)`` / ``("col", c, j)``).
+    resource:
+        Component-library name of the shared resource.
+    pipeline_stages:
+        1 for a combinational unit, >1 for a pipelined unit (RSP).
+    """
+
+    unit_id: SharedUnitId
+    resource: str = "array_multiplier"
+    pipeline_stages: int = 1
+
+    def __post_init__(self) -> None:
+        scope, index, ordinal = self.unit_id
+        if scope not in ("row", "col"):
+            raise ArchitectureError(f"shared unit scope must be 'row' or 'col', got {scope!r}")
+        if index < 0 or ordinal < 0:
+            raise ArchitectureError("shared unit indices must be non-negative")
+        if self.pipeline_stages < 1:
+            raise ArchitectureError("pipeline stages must be at least 1")
+
+    @property
+    def scope(self) -> str:
+        """``"row"`` or ``"col"``."""
+        return self.unit_id[0]
+
+    @property
+    def line_index(self) -> int:
+        """The row or column index the unit is attached to."""
+        return self.unit_id[1]
+
+    @property
+    def is_pipelined(self) -> bool:
+        return self.pipeline_stages > 1
+
+    @property
+    def name(self) -> str:
+        """Readable identifier, e.g. ``MUL[row 3 #0]``."""
+        return f"MUL[{self.scope} {self.line_index} #{self.unit_id[2]}]"
+
+
+class ReconfigurableArray:
+    """Structural instantiation of one architecture.
+
+    Parameters
+    ----------
+    spec:
+        The array dimensions and bus structure.
+    pe_config:
+        Per-PE unit configuration (all PEs are identical — the template
+        keeps the array regular, which is one of the paper's stated goals).
+    shared_units:
+        The shared critical resources placed alongside rows/columns.
+    """
+
+    def __init__(
+        self,
+        spec: ArraySpec,
+        pe_config: Optional[PEConfig] = None,
+        shared_units: Optional[List[SharedResourceUnit]] = None,
+    ) -> None:
+        self.spec = spec
+        self.pe_config = pe_config or PEConfig()
+        self.shared_units: List[SharedResourceUnit] = list(shared_units or [])
+        self._validate_shared_units()
+        self._pes: Dict[Tuple[int, int], ProcessingElement] = {
+            (row, col): ProcessingElement(row=row, col=col, config=self.pe_config)
+            for row, col in spec.positions()
+        }
+        self._reachable: Dict[Tuple[int, int], List[SharedResourceUnit]] = {
+            position: self._compute_reachable(*position) for position in spec.positions()
+        }
+
+    def _validate_shared_units(self) -> None:
+        seen = set()
+        for unit in self.shared_units:
+            if unit.unit_id in seen:
+                raise ArchitectureError(f"duplicate shared unit: {unit.unit_id}")
+            seen.add(unit.unit_id)
+            scope, index, _ = unit.unit_id
+            limit = self.spec.rows if scope == "row" else self.spec.cols
+            if index >= limit:
+                raise ArchitectureError(
+                    f"shared unit {unit.unit_id} attached to non-existent {scope} {index}"
+                )
+
+    def _compute_reachable(self, row: int, col: int) -> List[SharedResourceUnit]:
+        reachable = []
+        for unit in self.shared_units:
+            if unit.scope == "row" and unit.line_index == row:
+                reachable.append(unit)
+            elif unit.scope == "col" and unit.line_index == col:
+                reachable.append(unit)
+        return reachable
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def pe_at(self, row: int, col: int) -> ProcessingElement:
+        """The PE at grid position (row, col)."""
+        try:
+            return self._pes[(row, col)]
+        except KeyError as exc:
+            raise ArchitectureError(
+                f"PE position ({row},{col}) outside {self.spec.rows}x{self.spec.cols} array"
+            ) from exc
+
+    def processing_elements(self) -> List[ProcessingElement]:
+        """All PEs in row-major order."""
+        return [self._pes[position] for position in self.spec.positions()]
+
+    def reachable_shared_units(self, row: int, col: int) -> List[SharedResourceUnit]:
+        """Shared units the PE at (row, col) can use through its bus switch."""
+        if not self.spec.contains(row, col):
+            raise ArchitectureError(
+                f"PE position ({row},{col}) outside {self.spec.rows}x{self.spec.cols} array"
+            )
+        return list(self._reachable[(row, col)])
+
+    def bus_switch_spec(self) -> Optional[BusSwitchSpec]:
+        """The per-PE bus switch, or None when nothing is shared."""
+        if not self.shared_units:
+            return None
+        ports = max(len(units) for units in self._reachable.values())
+        return BusSwitchSpec(ports=ports, operand_width_bits=self.spec.data_width_bits)
+
+    @property
+    def num_shared_units(self) -> int:
+        """Total number of shared critical resources in the array."""
+        return len(self.shared_units)
+
+    @property
+    def has_shared_resources(self) -> bool:
+        return bool(self.shared_units)
+
+    @property
+    def multiplier_issue_slots_per_cycle(self) -> int:
+        """Upper bound on multiplication issues per cycle for the whole array."""
+        if self.pe_config.has_multiplier:
+            return self.spec.num_pes
+        return self.num_shared_units
+
+    def __repr__(self) -> str:
+        return (
+            f"ReconfigurableArray({self.spec.rows}x{self.spec.cols}, "
+            f"shared_units={self.num_shared_units})"
+        )

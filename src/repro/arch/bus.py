@@ -1,0 +1,75 @@
+"""Row data buses and the shared-resource bus switch.
+
+Paper Figure 1(b) shows that every row of the array shares read/write data
+buses with the data memory (two read buses and one write bus per row in the
+running example).  Paper Figure 4 shows the bus switch that routes a PE's
+operands to a shared multiplier and the 2n-bit product back to the issuing
+PE.
+
+These are small structural descriptions; the scheduling consequences (at
+most ``read_buses`` loads and ``write_buses`` stores per row per cycle, one
+multiplication issue per shared multiplier per cycle) are enforced by the
+mapper in :mod:`repro.mapping`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class RowBusSpec:
+    """Read/write data buses shared by the PEs of one row.
+
+    Attributes
+    ----------
+    read_buses:
+        Number of read buses per row (operand fetches per cycle per row).
+    write_buses:
+        Number of write buses per row (result stores per cycle per row).
+    width_bits:
+        Data width of each bus.
+    """
+
+    read_buses: int = 2
+    write_buses: int = 1
+    width_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.read_buses < 0 or self.write_buses < 0:
+            raise ArchitectureError("bus counts must be non-negative")
+        if self.width_bits <= 0:
+            raise ArchitectureError("bus width must be positive")
+
+    @property
+    def total_buses(self) -> int:
+        """Total number of buses attached to one row."""
+        return self.read_buses + self.write_buses
+
+
+@dataclass(frozen=True)
+class BusSwitchSpec:
+    """The per-PE bus switch of paper Figure 4.
+
+    A switch connects the two n-bit operand outputs of a PE to the shared
+    resources it can reach and returns the 2n-bit result.  ``ports`` is the
+    number of shared resources reachable from the PE (row-shared plus
+    column-shared), which determines the switch's area and delay in the
+    component library.
+    """
+
+    ports: int
+    operand_width_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.ports < 0:
+            raise ArchitectureError("bus switch port count must be non-negative")
+        if self.operand_width_bits <= 0:
+            raise ArchitectureError("operand width must be positive")
+
+    @property
+    def result_width_bits(self) -> int:
+        """Width of the result path (2n bits for an n x n multiplier)."""
+        return 2 * self.operand_width_bits

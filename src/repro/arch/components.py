@@ -1,0 +1,286 @@
+"""Pre-synthesised hardware component library.
+
+The RSP design-space exploration estimates hardware cost "with
+pre-synthesised architecture components" (paper Section 4).  The paper's
+calibration point is Table 1, the RTL synthesis result of one processing
+element on a Xilinx Virtex-II FPGA:
+
+==================  ===============  =====================
+Component           Area (slices)    Critical path (ns)
+==================  ===============  =====================
+PE (total)          910              25.6
+Multiplexer         58               1.3
+ALU                 253              11.5
+Array multiplier    416              19.7
+Shift logic         156              2.5
+==================  ===============  =====================
+
+This module stores those numbers, together with the bus-switch and
+pipeline-register variants needed by the RS/RSP designs of paper Table 2,
+and exposes them through :class:`ComponentLibrary` so the cost and timing
+models never hard-code magic constants.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ComponentError
+
+
+class ComponentKind(enum.Enum):
+    """Kinds of hardware components appearing in the template."""
+
+    MULTIPLEXER = "multiplexer"
+    ALU = "alu"
+    MULTIPLIER = "multiplier"
+    SHIFTER = "shifter"
+    PIPELINE_REGISTER = "pipeline_register"
+    OUTPUT_REGISTER = "output_register"
+    BUS_SWITCH = "bus_switch"
+    CONFIG_CACHE = "config_cache"
+
+
+@dataclass(frozen=True)
+class Component:
+    """A pre-synthesised component with its area and critical-path delay.
+
+    Attributes
+    ----------
+    name:
+        Library-unique component name.
+    kind:
+        The :class:`ComponentKind`.
+    area_slices:
+        Area in FPGA slices (the unit used by the paper).
+    delay_ns:
+        Combinational critical-path delay contribution in nanoseconds.
+    ports:
+        For bus switches, the number of shared-resource ports served.
+    description:
+        Free-form description.
+    """
+
+    name: str
+    kind: ComponentKind
+    area_slices: float
+    delay_ns: float
+    ports: int = 0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.area_slices < 0:
+            raise ComponentError(f"component {self.name!r} has negative area")
+        if self.delay_ns < 0:
+            raise ComponentError(f"component {self.name!r} has negative delay")
+
+
+class ComponentLibrary:
+    """A named collection of pre-synthesised components.
+
+    The library is the single source of area/delay numbers for the cost
+    model (:mod:`repro.core.cost_model`), the timing model
+    (:mod:`repro.core.timing_model`) and the synthesis surrogate
+    (:mod:`repro.synthesis`).
+    """
+
+    def __init__(self, components: Optional[Iterable[Component]] = None) -> None:
+        self._components: Dict[str, Component] = {}
+        for component in components or ():
+            self.add(component)
+
+    def add(self, component: Component) -> None:
+        """Register ``component``; names must be unique."""
+        if component.name in self._components:
+            raise ComponentError(f"duplicate component name: {component.name!r}")
+        self._components[component.name] = component
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._components
+
+    def __len__(self) -> int:
+        return len(self._components)
+
+    def get(self, name: str) -> Component:
+        """Return the component registered under ``name``."""
+        try:
+            return self._components[name]
+        except KeyError as exc:
+            raise ComponentError(f"unknown component: {name!r}") from exc
+
+    def components(self) -> List[Component]:
+        """All registered components."""
+        return list(self._components.values())
+
+    def of_kind(self, kind: ComponentKind) -> List[Component]:
+        """All components of the given kind."""
+        return [component for component in self._components.values() if component.kind is kind]
+
+    # ------------------------------------------------------------------
+    # Convenience accessors used throughout the models
+    # ------------------------------------------------------------------
+    @property
+    def multiplexer(self) -> Component:
+        return self.get("multiplexer")
+
+    @property
+    def alu(self) -> Component:
+        return self.get("alu")
+
+    @property
+    def multiplier(self) -> Component:
+        return self.get("array_multiplier")
+
+    @property
+    def shifter(self) -> Component:
+        return self.get("shift_logic")
+
+    @property
+    def pipeline_register(self) -> Component:
+        return self.get("pipeline_register")
+
+    def bus_switch(self, ports: int) -> Component:
+        """Bus switch serving ``ports`` shared-resource ports.
+
+        Ports 1–4 come from the calibrated variants (paper Table 2 lists the
+        per-PE switch area/delay for the four RS/RSP designs); larger port
+        counts are extrapolated linearly from the last two calibrated
+        points.
+        """
+        if ports <= 0:
+            raise ComponentError(f"bus switch needs at least one port, got {ports}")
+        name = f"bus_switch_{ports}p"
+        if name in self._components:
+            return self.get(name)
+        calibrated = sorted(
+            (component for component in self.of_kind(ComponentKind.BUS_SWITCH)),
+            key=lambda component: component.ports,
+        )
+        if len(calibrated) < 2:
+            raise ComponentError("component library has no calibrated bus switches")
+        last, previous = calibrated[-1], calibrated[-2]
+        area_step = last.area_slices - previous.area_slices
+        delay_step = last.delay_ns - previous.delay_ns
+        extra = ports - last.ports
+        return Component(
+            name=name,
+            kind=ComponentKind.BUS_SWITCH,
+            area_slices=last.area_slices + extra * area_step,
+            delay_ns=last.delay_ns + extra * delay_step,
+            ports=ports,
+            description="extrapolated bus switch",
+        )
+
+
+#: Paper Table 1: PE synthesis result used as the calibration point.
+PAPER_PE_AREA_SLICES = 910.0
+PAPER_PE_CRITICAL_PATH_NS = 25.6
+
+#: Paper Table 2: per-PE area of the PE variant without the shared
+#: multiplier (the "PE" column of the RS/RSP rows).
+PAPER_SHARED_PE_AREA_SLICES = 489.0
+
+#: Paper Table 2: critical path of the pipelined PE (the "PE" column of the
+#: RSP rows).
+PAPER_PIPELINED_PE_PATH_NS = 15.3
+
+#: Paper Table 2: base-architecture array critical path (26 ns) exceeds the
+#: PE path by a wiring margin.
+PAPER_ARRAY_WIRING_MARGIN_NS = PAPER_PE_CRITICAL_PATH_NS and 0.4
+
+
+def default_component_library() -> ComponentLibrary:
+    """Build the component library calibrated to the paper's Tables 1 and 2.
+
+    The multiplexer/ALU/multiplier/shifter rows are the published Table 1
+    values.  The bus-switch variants reproduce the per-PE switch area and
+    delay of the four sharing designs in Table 2 (10/34/55/68 slices and
+    0.7/1.2/1.8/2.0 ns for 1–4 ports).  The pipeline register models the
+    register inserted into the multiplier for the two-stage RSP designs and
+    the per-PE operand registers (``Regarea`` in paper Eq. 2); its area is
+    calibrated from the RSP-vs-RS array area difference in Table 2
+    (roughly 800 slices over 64 PEs ≈ 12 slices per PE).
+    """
+    library = ComponentLibrary()
+    library.add(
+        Component(
+            name="multiplexer",
+            kind=ComponentKind.MULTIPLEXER,
+            area_slices=58.0,
+            delay_ns=1.3,
+            description="operand multiplexer (paper Table 1)",
+        )
+    )
+    library.add(
+        Component(
+            name="alu",
+            kind=ComponentKind.ALU,
+            area_slices=253.0,
+            delay_ns=11.5,
+            description="16-bit ALU (paper Table 1)",
+        )
+    )
+    library.add(
+        Component(
+            name="array_multiplier",
+            kind=ComponentKind.MULTIPLIER,
+            area_slices=416.0,
+            delay_ns=19.7,
+            description="16x16 array multiplier (paper Table 1); the area- and delay-critical resource",
+        )
+    )
+    library.add(
+        Component(
+            name="shift_logic",
+            kind=ComponentKind.SHIFTER,
+            area_slices=156.0,
+            delay_ns=2.5,
+            description="shift logic (paper Table 1)",
+        )
+    )
+    library.add(
+        Component(
+            name="pipeline_register",
+            kind=ComponentKind.PIPELINE_REGISTER,
+            area_slices=12.0,
+            delay_ns=0.4,
+            description="pipeline/operand register added for RSP designs (calibrated to Table 2)",
+        )
+    )
+    library.add(
+        Component(
+            name="output_register",
+            kind=ComponentKind.OUTPUT_REGISTER,
+            area_slices=27.0,
+            delay_ns=2.1,
+            description="PE output register and glue; closes the gap between the component sum and the PE total of Table 1",
+        )
+    )
+    for ports, (area, delay) in {
+        1: (10.0, 0.7),
+        2: (34.0, 1.2),
+        3: (55.0, 1.8),
+        4: (68.0, 2.0),
+    }.items():
+        library.add(
+            Component(
+                name=f"bus_switch_{ports}p",
+                kind=ComponentKind.BUS_SWITCH,
+                area_slices=area,
+                delay_ns=delay,
+                ports=ports,
+                description=f"bus switch with {ports} shared-resource port(s) (paper Table 2)",
+            )
+        )
+    library.add(
+        Component(
+            name="config_cache",
+            kind=ComponentKind.CONFIG_CACHE,
+            area_slices=0.0,
+            delay_ns=0.0,
+            description="per-PE configuration cache; its block RAM does not consume slices",
+        )
+    )
+    return library

@@ -1,0 +1,183 @@
+"""Configuration cache and configuration words.
+
+In the paper's template a configuration cache is attached to every PE
+(unlike Morphosys' SIMD broadcast) so each PE can follow its own control
+stream — this is what enables loop-pipelining execution.  The compile-time
+mapping of operations to shared multipliers is "annotated to the
+configuration instructions" (paper Section 3.1); at run time the control
+signal from the configuration cache steers the bus switch.
+
+:class:`ConfigurationWord` is the per-PE, per-cycle control word produced
+by the mapper; :class:`ConfigurationContext` is the complete context for a
+kernel (one word per PE per cycle) and is what the functional simulator
+executes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.ir.dfg import OpType
+
+
+@dataclass(frozen=True)
+class ConfigurationWord:
+    """Control word for one PE in one cycle.
+
+    Attributes
+    ----------
+    opcode:
+        Operation the PE issues this cycle, or ``None`` for an idle cycle.
+    operation_name:
+        Name of the DFG operation (for traceability).
+    operands:
+        Names of the producing operations whose results feed this operation.
+    uses_shared_resource:
+        True when the operation is routed through the bus switch to a
+        shared resource.
+    shared_resource_id:
+        Identifier of the shared resource used (``("row", r, j)`` or
+        ``("col", c, j)``), when applicable.
+    immediate:
+        Constant operand stored in the configuration word.
+    array / index:
+        Memory access target for load/store words.
+    """
+
+    opcode: Optional[OpType] = None
+    operation_name: Optional[str] = None
+    operands: Tuple[str, ...] = ()
+    uses_shared_resource: bool = False
+    shared_resource_id: Optional[Tuple[str, int, int]] = None
+    immediate: Optional[int] = None
+    array: Optional[str] = None
+    index: Optional[int] = None
+
+    @property
+    def is_idle(self) -> bool:
+        """True when the PE does nothing this cycle."""
+        return self.opcode is None
+
+    def __post_init__(self) -> None:
+        if self.uses_shared_resource and self.shared_resource_id is None:
+            raise ConfigurationError(
+                "configuration word marked as using a shared resource must "
+                "name the shared resource"
+            )
+
+
+IDLE_WORD = ConfigurationWord()
+
+
+class ConfigurationContext:
+    """The full configuration context of a mapped kernel.
+
+    The context is indexed by cycle and PE position; missing entries are
+    idle.  The paper calls the pre-RSP version the *initial configuration
+    context* and the post-rearrangement version the *RSP configuration
+    context*.
+    """
+
+    def __init__(self, rows: int, cols: int, name: str = "context") -> None:
+        if rows <= 0 or cols <= 0:
+            raise ConfigurationError("context dimensions must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.name = name
+        self._words: Dict[Tuple[int, int, int], ConfigurationWord] = {}
+        self._num_cycles = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def set_word(self, cycle: int, row: int, col: int, word: ConfigurationWord) -> None:
+        """Install ``word`` for PE ``(row, col)`` at ``cycle``."""
+        self._check_position(row, col)
+        if cycle < 0:
+            raise ConfigurationError(f"cycle must be non-negative, got {cycle}")
+        key = (cycle, row, col)
+        if key in self._words and not self._words[key].is_idle and not word.is_idle:
+            raise ConfigurationError(
+                f"PE ({row},{col}) already has an operation at cycle {cycle}"
+            )
+        self._words[key] = word
+        self._num_cycles = max(self._num_cycles, cycle + 1)
+
+    def _check_position(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"PE position ({row},{col}) outside {self.rows}x{self.cols} array"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_cycles(self) -> int:
+        """Number of cycles the context spans."""
+        return self._num_cycles
+
+    def word(self, cycle: int, row: int, col: int) -> ConfigurationWord:
+        """The configuration word for PE ``(row, col)`` at ``cycle``."""
+        self._check_position(row, col)
+        return self._words.get((cycle, row, col), IDLE_WORD)
+
+    def words_at(self, cycle: int) -> List[Tuple[Tuple[int, int], ConfigurationWord]]:
+        """All non-idle words issued at ``cycle`` as ((row, col), word) pairs."""
+        result = []
+        for (word_cycle, row, col), word in sorted(self._words.items()):
+            if word_cycle == cycle and not word.is_idle:
+                result.append(((row, col), word))
+        return result
+
+    def active_words(self) -> Iterator[Tuple[int, Tuple[int, int], ConfigurationWord]]:
+        """Iterate over (cycle, (row, col), word) for all non-idle words."""
+        for (cycle, row, col), word in sorted(self._words.items()):
+            if not word.is_idle:
+                yield cycle, (row, col), word
+
+    def active_word_count(self) -> int:
+        """Number of non-idle configuration words."""
+        return sum(1 for word in self._words.values() if not word.is_idle)
+
+    def utilisation(self) -> float:
+        """Fraction of PE-cycles that issue an operation."""
+        total = self.num_cycles * self.rows * self.cols
+        if total == 0:
+            return 0.0
+        return self.active_word_count() / total
+
+    def storage_bits(self, bits_per_word: int = 32) -> int:
+        """Estimated configuration storage for the whole context."""
+        return self.num_cycles * self.rows * self.cols * bits_per_word
+
+
+@dataclass
+class ConfigurationCacheSpec:
+    """Per-PE configuration cache dimensioning.
+
+    Attributes
+    ----------
+    depth:
+        Number of configuration words the cache can hold.
+    word_bits:
+        Width of a configuration word.
+    """
+
+    depth: int = 32
+    word_bits: int = 32
+
+    def __post_init__(self) -> None:
+        if self.depth <= 0 or self.word_bits <= 0:
+            raise ConfigurationError("configuration cache dimensions must be positive")
+
+    @property
+    def size_bits(self) -> int:
+        """Total storage of one PE's configuration cache."""
+        return self.depth * self.word_bits
+
+    def fits(self, context: ConfigurationContext) -> bool:
+        """True when the context fits in the per-PE cache depth."""
+        return context.num_cycles <= self.depth

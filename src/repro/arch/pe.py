@@ -1,0 +1,94 @@
+"""Processing-element structural model.
+
+A processing element (PE) of the base architecture contains an operand
+multiplexer, an ALU, an array multiplier and shift logic (paper Table 1).
+Under resource sharing the multiplier is removed from the PE and accessed
+through the bus switch; under resource pipelining the PE gains operand /
+pipeline registers.  :class:`PEConfig` captures which units are local to
+the PE, and :class:`ProcessingElement` instantiates one PE at a grid
+position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ArchitectureError
+from repro.ir.dfg import OpType
+
+
+@dataclass(frozen=True)
+class PEConfig:
+    """Which functional units a PE contains locally.
+
+    Attributes
+    ----------
+    has_multiplier:
+        True for the base architecture; False when the multiplier is
+        extracted as a shared resource.
+    has_alu / has_shifter / has_multiplexer:
+        Primitive resources; present in every paper configuration.
+    has_pipeline_registers:
+        True for RSP designs (registers that hold operands while a shared
+        pipelined multiplier produces the result).
+    """
+
+    has_multiplier: bool = True
+    has_alu: bool = True
+    has_shifter: bool = True
+    has_multiplexer: bool = True
+    has_pipeline_registers: bool = False
+
+    def local_unit_names(self) -> List[str]:
+        """Component-library names of the units inside the PE."""
+        names: List[str] = []
+        if self.has_multiplexer:
+            names.append("multiplexer")
+        if self.has_alu:
+            names.append("alu")
+        if self.has_multiplier:
+            names.append("array_multiplier")
+        if self.has_shifter:
+            names.append("shift_logic")
+        if self.has_pipeline_registers:
+            names.append("pipeline_register")
+        return names
+
+    def supports_locally(self, optype: OpType) -> bool:
+        """True when the PE can execute ``optype`` without a shared resource."""
+        if optype.is_multiplication:
+            return self.has_multiplier
+        if optype.is_alu:
+            return self.has_alu
+        if optype.is_shift:
+            return self.has_shifter
+        if optype in (OpType.LOAD, OpType.STORE, OpType.CONST, OpType.NOP):
+            return True
+        return False
+
+
+@dataclass(frozen=True)
+class ProcessingElement:
+    """One PE instance at grid position ``(row, col)``."""
+
+    row: int
+    col: int
+    config: PEConfig = field(default_factory=PEConfig)
+
+    def __post_init__(self) -> None:
+        if self.row < 0 or self.col < 0:
+            raise ArchitectureError("PE coordinates must be non-negative")
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        """The (row, col) grid position."""
+        return (self.row, self.col)
+
+    @property
+    def name(self) -> str:
+        """Readable identifier, e.g. ``PE[2][5]``."""
+        return f"PE[{self.row}][{self.col}]"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name

@@ -1,0 +1,294 @@
+"""The RSP architecture template and the paper's concrete design points.
+
+An :class:`ArchitectureSpec` bundles the array dimensions, the sharing
+topology (how many multipliers are shared per row / per column, paper
+Figure 8) and the pipelining specification (how many stages the shared
+multiplier is split into, paper Figure 5/6).  The module also provides the
+nine concrete architectures evaluated in the paper:
+
+* ``Base``   — every PE has its own combinational multiplier,
+* ``RS#1–4`` — shared combinational multipliers,
+* ``RSP#1–4``— shared two-stage pipelined multipliers,
+
+where the sharing topologies #1–#4 are (paper Section 5.2):
+
+1. one multiplier shared by the 8 PEs of each row,
+2. two multipliers shared by the 8 PEs of each row,
+3. two per row plus one shared by the 8 PEs of each column,
+4. two per row plus two per column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.arch.array import ArraySpec, ReconfigurableArray, SharedResourceUnit
+from repro.arch.bus import RowBusSpec
+from repro.arch.pe import PEConfig
+from repro.errors import ArchitectureError
+
+
+@dataclass(frozen=True)
+class SharingTopology:
+    """How many shared critical resources are placed per row and per column.
+
+    ``rows_shared`` is the ``shr`` parameter of paper Eq. 2 (number of
+    shared resources attached to every row), ``cols_shared`` is ``shc``.
+    ``rows_shared = cols_shared = 0`` means no sharing (base architecture).
+    """
+
+    rows_shared: int = 0
+    cols_shared: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows_shared < 0 or self.cols_shared < 0:
+            raise ArchitectureError("shared-resource counts must be non-negative")
+
+    @property
+    def shares_anything(self) -> bool:
+        return self.rows_shared > 0 or self.cols_shared > 0
+
+    def total_shared_units(self, rows: int, cols: int) -> int:
+        """Total shared units for an ``rows`` x ``cols`` array (Eq. 2 term)."""
+        return rows * self.rows_shared + cols * self.cols_shared
+
+    def ports_per_pe(self) -> int:
+        """Shared units reachable from any single PE (row units + column units)."""
+        return self.rows_shared + self.cols_shared
+
+    def units_for(self, rows: int, cols: int, pipeline_stages: int = 1,
+                  resource: str = "array_multiplier") -> List[SharedResourceUnit]:
+        """Materialise the shared units for a concrete array."""
+        units: List[SharedResourceUnit] = []
+        for row in range(rows):
+            for ordinal in range(self.rows_shared):
+                units.append(
+                    SharedResourceUnit(
+                        unit_id=("row", row, ordinal),
+                        resource=resource,
+                        pipeline_stages=pipeline_stages,
+                    )
+                )
+        for col in range(cols):
+            for ordinal in range(self.cols_shared):
+                units.append(
+                    SharedResourceUnit(
+                        unit_id=("col", col, ordinal),
+                        resource=resource,
+                        pipeline_stages=pipeline_stages,
+                    )
+                )
+        return units
+
+
+@dataclass(frozen=True)
+class PipeliningSpec:
+    """Pipelining of the critical resource (paper Section 3.2).
+
+    ``stages = 1`` means the resource stays combinational; ``stages = 2``
+    is the paper's two-stage pipelined multiplier.
+    """
+
+    stages: int = 1
+
+    def __post_init__(self) -> None:
+        if self.stages < 1:
+            raise ArchitectureError("pipeline stages must be at least 1")
+
+    @property
+    def is_pipelined(self) -> bool:
+        return self.stages > 1
+
+    @property
+    def registers_inserted(self) -> int:
+        """Number of pipeline registers inserted into the resource."""
+        return self.stages - 1
+
+
+@dataclass(frozen=True)
+class ArchitectureSpec:
+    """A complete design point of the RSP template.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name (``"Base"``, ``"RS#2"``, ``"RSP#2"`` ...).
+    array:
+        Array dimensions and bus structure.
+    sharing:
+        Sharing topology of the critical resource.
+    pipelining:
+        Pipelining of the critical resource.
+    shared_resource:
+        Component-library name of the critical resource (the paper shares
+        and pipelines the array multiplier).
+    """
+
+    name: str
+    array: ArraySpec = field(default_factory=ArraySpec)
+    sharing: SharingTopology = field(default_factory=SharingTopology)
+    pipelining: PipeliningSpec = field(default_factory=PipeliningSpec)
+    shared_resource: str = "array_multiplier"
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArchitectureError("architecture name must be non-empty")
+        if self.pipelining.is_pipelined and not self.sharing.shares_anything:
+            # The paper always pipelines the *shared* multiplier; a pipelined
+            # per-PE multiplier would be a different design point.  We allow
+            # constructing it for ablations but it must be explicit, so this
+            # combination is accepted silently.
+            pass
+
+    # ------------------------------------------------------------------
+    # Classification
+    # ------------------------------------------------------------------
+    @property
+    def is_base(self) -> bool:
+        """True for the base architecture (no sharing, no pipelining)."""
+        return not self.sharing.shares_anything and not self.pipelining.is_pipelined
+
+    @property
+    def uses_sharing(self) -> bool:
+        return self.sharing.shares_anything
+
+    @property
+    def uses_pipelining(self) -> bool:
+        return self.pipelining.is_pipelined
+
+    @property
+    def kind(self) -> str:
+        """``"base"``, ``"rs"``, ``"rp"`` or ``"rsp"``."""
+        if self.uses_sharing and self.uses_pipelining:
+            return "rsp"
+        if self.uses_sharing:
+            return "rs"
+        if self.uses_pipelining:
+            return "rp"
+        return "base"
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    @property
+    def multiplier_latency(self) -> int:
+        """Cycles a multiplication occupies before its result is usable."""
+        return self.pipelining.stages
+
+    @property
+    def total_shared_units(self) -> int:
+        return self.sharing.total_shared_units(self.array.rows, self.array.cols)
+
+    @property
+    def switch_ports_per_pe(self) -> int:
+        return self.sharing.ports_per_pe()
+
+    def pe_config(self) -> PEConfig:
+        """The per-PE unit configuration implied by this design point."""
+        return PEConfig(
+            has_multiplier=not self.uses_sharing,
+            has_alu=True,
+            has_shifter=True,
+            has_multiplexer=True,
+            has_pipeline_registers=self.uses_pipelining,
+        )
+
+    def build_array(self) -> ReconfigurableArray:
+        """Instantiate the structural array for this design point."""
+        shared_units = self.sharing.units_for(
+            self.array.rows,
+            self.array.cols,
+            pipeline_stages=self.pipelining.stages,
+            resource=self.shared_resource,
+        )
+        return ReconfigurableArray(
+            spec=self.array,
+            pe_config=self.pe_config(),
+            shared_units=shared_units,
+        )
+
+    def with_name(self, name: str) -> "ArchitectureSpec":
+        """Copy of this spec under a different name."""
+        return replace(self, name=name)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return (
+            f"{self.name}: {self.array.rows}x{self.array.cols}, "
+            f"shr={self.sharing.rows_shared}, shc={self.sharing.cols_shared}, "
+            f"stages={self.pipelining.stages}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Paper design points (Figure 8 + Section 5)
+# ----------------------------------------------------------------------
+
+#: Sharing topologies of the four RS/RSP designs in paper Figure 8.
+PAPER_SHARING_TOPOLOGIES: Dict[int, SharingTopology] = {
+    1: SharingTopology(rows_shared=1, cols_shared=0),
+    2: SharingTopology(rows_shared=2, cols_shared=0),
+    3: SharingTopology(rows_shared=2, cols_shared=1),
+    4: SharingTopology(rows_shared=2, cols_shared=2),
+}
+
+#: Number of pipeline stages used by the paper's RSP designs.
+PAPER_RSP_STAGES = 2
+
+
+def default_array_spec(rows: int = 8, cols: int = 8) -> ArraySpec:
+    """The paper's base array: 8x8 PEs, two read buses and one write bus per row."""
+    return ArraySpec(rows=rows, cols=cols, row_buses=RowBusSpec(read_buses=2, write_buses=1))
+
+
+def base_architecture(rows: int = 8, cols: int = 8) -> ArchitectureSpec:
+    """The Morphosys-like base architecture (per-PE combinational multiplier)."""
+    return ArchitectureSpec(name="Base", array=default_array_spec(rows, cols))
+
+
+def rs_architecture(design: int, rows: int = 8, cols: int = 8) -> ArchitectureSpec:
+    """Resource-sharing design ``RS#design`` of paper Figure 8 (design in 1..4)."""
+    topology = _paper_topology(design)
+    return ArchitectureSpec(
+        name=f"RS#{design}",
+        array=default_array_spec(rows, cols),
+        sharing=topology,
+        pipelining=PipeliningSpec(stages=1),
+    )
+
+
+def rsp_architecture(design: int, rows: int = 8, cols: int = 8,
+                     stages: int = PAPER_RSP_STAGES) -> ArchitectureSpec:
+    """Resource-sharing-and-pipelining design ``RSP#design`` (design in 1..4)."""
+    topology = _paper_topology(design)
+    return ArchitectureSpec(
+        name=f"RSP#{design}",
+        array=default_array_spec(rows, cols),
+        sharing=topology,
+        pipelining=PipeliningSpec(stages=stages),
+    )
+
+
+def _paper_topology(design: int) -> SharingTopology:
+    try:
+        return PAPER_SHARING_TOPOLOGIES[design]
+    except KeyError as exc:
+        raise ArchitectureError(
+            f"paper sharing design must be 1..4, got {design}"
+        ) from exc
+
+
+def paper_architectures(rows: int = 8, cols: int = 8) -> List[ArchitectureSpec]:
+    """The nine architectures of paper Table 2 in table order."""
+    architectures = [base_architecture(rows, cols)]
+    architectures.extend(rs_architecture(design, rows, cols) for design in range(1, 5))
+    architectures.extend(rsp_architecture(design, rows, cols) for design in range(1, 5))
+    return architectures
+
+
+def architecture_by_name(name: str, rows: int = 8, cols: int = 8) -> ArchitectureSpec:
+    """Look up one of the paper's architectures by its table name."""
+    for spec in paper_architectures(rows, cols):
+        if spec.name.lower() == name.lower():
+            return spec
+    raise ArchitectureError(f"unknown paper architecture: {name!r}")

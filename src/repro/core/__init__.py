@@ -1,0 +1,61 @@
+"""The paper's primary contribution: resource sharing, pipelining and DSE."""
+
+from repro.core.resources import (
+    ClassificationThresholds,
+    ResourceClass,
+    classify_components,
+    component_for_optype,
+    critical_components,
+    optypes_for_component,
+)
+from repro.core.cost_model import AreaBreakdown, HardwareCostModel
+from repro.core.timing_model import TimingBreakdown, TimingModel, DEFAULT_WIRING_MARGIN_NS
+from repro.core.rsp_params import (
+    RSPParameters,
+    base_parameters,
+    enumerate_design_space,
+    paper_parameters,
+)
+from repro.core.pareto import dominates, knee_point, pareto_front, pareto_front_vectors
+from repro.core.stalls import (
+    CriticalOpIssue,
+    ScheduleProfile,
+    StallEstimate,
+    StallEstimator,
+)
+from repro.core.exploration import (
+    DesignPointEvaluation,
+    ExplorationConstraints,
+    ExplorationResult,
+    RSPDesignSpaceExplorer,
+)
+
+__all__ = [
+    "ClassificationThresholds",
+    "ResourceClass",
+    "classify_components",
+    "component_for_optype",
+    "critical_components",
+    "optypes_for_component",
+    "AreaBreakdown",
+    "HardwareCostModel",
+    "TimingBreakdown",
+    "TimingModel",
+    "DEFAULT_WIRING_MARGIN_NS",
+    "RSPParameters",
+    "base_parameters",
+    "enumerate_design_space",
+    "paper_parameters",
+    "dominates",
+    "knee_point",
+    "pareto_front",
+    "pareto_front_vectors",
+    "CriticalOpIssue",
+    "ScheduleProfile",
+    "StallEstimate",
+    "StallEstimator",
+    "DesignPointEvaluation",
+    "ExplorationConstraints",
+    "ExplorationResult",
+    "RSPDesignSpaceExplorer",
+]

@@ -1,0 +1,248 @@
+"""RSP design-space exploration (paper Section 4, Figure 7 lower half).
+
+Given the base architecture, the initial configuration contexts of the
+domain's critical loops (summarised as :class:`~repro.core.stalls.ScheduleProfile`
+objects) and a set of candidate RSP parameters, the explorer
+
+1. estimates the hardware cost of every candidate with the Eq. 2 cost
+   model,
+2. estimates the performance upper bound with the RS/RP stall estimator,
+3. rejects candidates whose cost is too high or whose performance is too
+   low,
+4. keeps only the Pareto-optimal candidates (area vs. execution time), and
+5. selects a single optimum.
+
+The exploration deliberately works on *estimates*; the exact numbers of the
+paper's Tables 4/5 are produced afterwards by re-mapping the selected
+designs (:mod:`repro.mapping`), exactly as the paper's flow does ("RSP
+mapping" after "RSP exploration").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.arch.array import ArraySpec
+from repro.arch.template import ArchitectureSpec, base_architecture, default_array_spec
+from repro.core.cost_model import HardwareCostModel
+from repro.core.pareto import knee_point, pareto_front
+from repro.core.rsp_params import RSPParameters, enumerate_design_space
+from repro.core.stalls import ScheduleProfile, StallEstimate, StallEstimator
+from repro.core.timing_model import TimingModel
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class ExplorationConstraints:
+    """Feasibility constraints applied before Pareto filtering.
+
+    Attributes
+    ----------
+    max_area_slices:
+        Upper bound on the array area.  ``None`` applies the paper's Eq. 2
+        constraint: the design must be smaller than the base architecture.
+    max_execution_time_ratio:
+        Upper bound on the estimated total execution time relative to the
+        base architecture (e.g. 1.2 allows at most 20% slowdown).  ``None``
+        disables the check.
+    max_stall_cycles:
+        Upper bound on the total estimated stall cycles over all kernels.
+        ``None`` disables the check.
+    """
+
+    max_area_slices: Optional[float] = None
+    max_execution_time_ratio: Optional[float] = None
+    max_stall_cycles: Optional[int] = None
+
+
+@dataclass
+class DesignPointEvaluation:
+    """Cost/performance estimate for one candidate design."""
+
+    parameters: RSPParameters
+    architecture: ArchitectureSpec
+    area_slices: float
+    critical_path_ns: float
+    stall_estimates: Dict[str, StallEstimate] = field(default_factory=dict)
+
+    @property
+    def total_estimated_cycles(self) -> int:
+        """Sum of the upper-bound cycle counts over all domain kernels."""
+        return sum(estimate.estimated_cycles for estimate in self.stall_estimates.values())
+
+    @property
+    def total_stall_cycles(self) -> int:
+        return sum(estimate.total_stalls for estimate in self.stall_estimates.values())
+
+    @property
+    def total_execution_time_ns(self) -> float:
+        """Estimated execution time over the whole domain (cycles x period)."""
+        return self.total_estimated_cycles * self.critical_path_ns
+
+    @property
+    def area_delay_product(self) -> float:
+        """Area x execution-time product, a common single-figure merit."""
+        return self.area_slices * self.total_execution_time_ns
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one design-space exploration run."""
+
+    base: DesignPointEvaluation
+    evaluated: List[DesignPointEvaluation]
+    feasible: List[DesignPointEvaluation]
+    pareto: List[DesignPointEvaluation]
+    selected: Optional[DesignPointEvaluation]
+
+    def by_name(self, name: str) -> DesignPointEvaluation:
+        """Look up an evaluated design point by its architecture name."""
+        for evaluation in self.evaluated:
+            if evaluation.architecture.name == name:
+                return evaluation
+        raise ExplorationError(f"no evaluated design named {name!r}")
+
+    def summary_rows(self) -> List[List[object]]:
+        """Rows (name, kind, area, delay, cycles, ET, stalls, pareto, selected)."""
+        pareto_names = {evaluation.architecture.name for evaluation in self.pareto}
+        selected_name = self.selected.architecture.name if self.selected else None
+        rows: List[List[object]] = []
+        for evaluation in self.evaluated:
+            name = evaluation.architecture.name
+            rows.append(
+                [
+                    name,
+                    evaluation.parameters.kind,
+                    round(evaluation.area_slices, 1),
+                    round(evaluation.critical_path_ns, 2),
+                    evaluation.total_estimated_cycles,
+                    round(evaluation.total_execution_time_ns, 1),
+                    evaluation.total_stall_cycles,
+                    name in pareto_names,
+                    name == selected_name,
+                ]
+            )
+        return rows
+
+
+class RSPDesignSpaceExplorer:
+    """The RSP exploration engine.
+
+    Parameters
+    ----------
+    profiles:
+        Base-architecture schedule profiles of the domain's critical loops,
+        keyed by kernel name (the "initial configuration contexts" of the
+        paper's flow).
+    array:
+        Array dimensions of the base architecture.
+    cost_model / timing_model:
+        Models used for the estimates; default to the paper-calibrated ones.
+    """
+
+    def __init__(
+        self,
+        profiles: Dict[str, ScheduleProfile],
+        array: Optional[ArraySpec] = None,
+        cost_model: Optional[HardwareCostModel] = None,
+        timing_model: Optional[TimingModel] = None,
+    ) -> None:
+        if not profiles:
+            raise ExplorationError("exploration requires at least one kernel profile")
+        self.profiles = dict(profiles)
+        self.array = array or default_array_spec()
+        self.cost_model = cost_model or HardwareCostModel()
+        self.timing_model = timing_model or TimingModel()
+        self.stall_estimator = StallEstimator()
+
+    # ------------------------------------------------------------------
+    # Evaluation of a single candidate
+    # ------------------------------------------------------------------
+    def evaluate(self, parameters: RSPParameters, name: Optional[str] = None) -> DesignPointEvaluation:
+        """Estimate cost and performance of one RSP parameter assignment."""
+        architecture = parameters.to_architecture(self.array, name=name)
+        area = self.cost_model.array_area(architecture)
+        period = self.timing_model.critical_path_ns(architecture)
+        stall_estimates = {
+            kernel: self.stall_estimator.estimate(profile, architecture)
+            for kernel, profile in self.profiles.items()
+        }
+        return DesignPointEvaluation(
+            parameters=parameters,
+            architecture=architecture,
+            area_slices=area,
+            critical_path_ns=period,
+            stall_estimates=stall_estimates,
+        )
+
+    # ------------------------------------------------------------------
+    # Full exploration
+    # ------------------------------------------------------------------
+    def explore(
+        self,
+        candidates: Optional[Sequence[RSPParameters]] = None,
+        constraints: Optional[ExplorationConstraints] = None,
+    ) -> ExplorationResult:
+        """Run the exploration over ``candidates`` (defaults to the standard sweep)."""
+        constraints = constraints or ExplorationConstraints()
+        candidate_list = list(candidates) if candidates is not None else enumerate_design_space()
+        from repro.core.rsp_params import base_parameters
+
+        base_evaluation = self.evaluate(base_parameters(), name="Base")
+        evaluated: List[DesignPointEvaluation] = []
+        for index, parameters in enumerate(candidate_list):
+            if parameters.kind == "base":
+                evaluated.append(base_evaluation)
+                continue
+            evaluated.append(self.evaluate(parameters))
+
+        feasible = [
+            evaluation
+            for evaluation in evaluated
+            if self._is_feasible(evaluation, base_evaluation, constraints)
+        ]
+        pareto = pareto_front(
+            feasible,
+            objectives=(
+                lambda evaluation: evaluation.area_slices,
+                lambda evaluation: evaluation.total_execution_time_ns,
+            ),
+        )
+        selected = None
+        if pareto:
+            selected = knee_point(
+                pareto,
+                objectives=(
+                    lambda evaluation: evaluation.area_slices,
+                    lambda evaluation: evaluation.total_execution_time_ns,
+                ),
+            )
+        return ExplorationResult(
+            base=base_evaluation,
+            evaluated=evaluated,
+            feasible=feasible,
+            pareto=pareto,
+            selected=selected,
+        )
+
+    def _is_feasible(
+        self,
+        evaluation: DesignPointEvaluation,
+        base: DesignPointEvaluation,
+        constraints: ExplorationConstraints,
+    ) -> bool:
+        """Apply the cost/performance rejection step of the paper's flow."""
+        max_area = constraints.max_area_slices
+        if max_area is None:
+            max_area = base.area_slices
+        if evaluation.parameters.kind != "base" and evaluation.area_slices >= max_area:
+            return False
+        if constraints.max_execution_time_ratio is not None and base.total_execution_time_ns > 0:
+            ratio = evaluation.total_execution_time_ns / base.total_execution_time_ns
+            if ratio > constraints.max_execution_time_ratio:
+                return False
+        if constraints.max_stall_cycles is not None:
+            if evaluation.total_stall_cycles > constraints.max_stall_cycles:
+                return False
+        return True

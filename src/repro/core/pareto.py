@@ -1,0 +1,83 @@
+"""Pareto-front utilities for the RSP design-space exploration.
+
+The exploration step keeps "only Pareto points" among the designs that
+satisfy the cost/performance constraints (paper Section 4).  The helpers
+here are generic: a point dominates another when it is no worse in every
+objective and strictly better in at least one (all objectives minimised).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when objective vector ``a`` Pareto-dominates ``b`` (minimisation)."""
+    if len(a) != len(b):
+        raise ValueError("objective vectors must have the same length")
+    no_worse = all(x <= y for x, y in zip(a, b))
+    strictly_better = any(x < y for x, y in zip(a, b))
+    return no_worse and strictly_better
+
+
+def pareto_front_vectors(vectors: Sequence[Sequence[float]]) -> List[int]:
+    """Indices of the non-dominated vectors in ``vectors`` (minimisation)."""
+    front: List[int] = []
+    for index, candidate in enumerate(vectors):
+        dominated = False
+        for other_index, other in enumerate(vectors):
+            if other_index != index and dominates(other, candidate):
+                dominated = True
+                break
+        if not dominated:
+            front.append(index)
+    return front
+
+
+def pareto_front(
+    items: Sequence[T],
+    objectives: Sequence[Callable[[T], float]],
+) -> List[T]:
+    """Non-dominated subset of ``items`` under the given objective functions.
+
+    All objectives are minimised.  The relative order of ``items`` is
+    preserved in the result.
+    """
+    if not objectives:
+        raise ValueError("at least one objective is required")
+    vectors = [[objective(item) for objective in objectives] for item in items]
+    indices = pareto_front_vectors(vectors)
+    return [items[index] for index in indices]
+
+
+def knee_point(
+    items: Sequence[T],
+    objectives: Sequence[Callable[[T], float]],
+) -> T:
+    """A balanced single choice from the Pareto front.
+
+    The front is first extracted, every objective is normalised to [0, 1]
+    over the front, and the item with the smallest Euclidean distance to
+    the ideal (all-zero) point is returned.  This mirrors the paper's
+    "an optimal solution is selected" step without committing to a specific
+    weighting.
+    """
+    front = pareto_front(items, objectives)
+    if not front:
+        raise ValueError("cannot select a knee point from an empty set")
+    vectors = [[objective(item) for objective in objectives] for item in front]
+    mins = [min(column) for column in zip(*vectors)]
+    maxs = [max(column) for column in zip(*vectors)]
+
+    def normalised_distance(vector: Sequence[float]) -> float:
+        total = 0.0
+        for value, low, high in zip(vector, mins, maxs):
+            span = high - low
+            normalised = 0.0 if span == 0 else (value - low) / span
+            total += normalised * normalised
+        return total
+
+    best_index = min(range(len(front)), key=lambda index: normalised_distance(vectors[index]))
+    return front[best_index]

@@ -1,0 +1,153 @@
+"""Resource classification: primitive vs. critical resources.
+
+The paper "splits the computational resources into two groups: primitive
+resources and critical resources.  Critical resources can be area-critical
+and/or delay-critical" (Section 6).  In the evaluated template the array
+multiplier is the critical resource — it has the largest area and the
+largest delay ratio of all PE components (Table 1) — while the ALU, the
+shift logic and the multiplexer are primitive.
+
+:func:`classify_components` reproduces that decision automatically from a
+component library using relative-area/relative-delay thresholds, so the
+same flow applies to other component mixes (e.g. a divider-heavy domain).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.arch.components import Component, ComponentKind, ComponentLibrary
+from repro.errors import ArchitectureError
+from repro.ir.dfg import OpType
+
+
+class ResourceClass(enum.Enum):
+    """Classification of a functional resource."""
+
+    PRIMITIVE = "primitive"
+    AREA_CRITICAL = "area_critical"
+    DELAY_CRITICAL = "delay_critical"
+    AREA_AND_DELAY_CRITICAL = "area_and_delay_critical"
+
+    @property
+    def is_critical(self) -> bool:
+        return self is not ResourceClass.PRIMITIVE
+
+    @property
+    def is_area_critical(self) -> bool:
+        return self in (ResourceClass.AREA_CRITICAL, ResourceClass.AREA_AND_DELAY_CRITICAL)
+
+    @property
+    def is_delay_critical(self) -> bool:
+        return self in (ResourceClass.DELAY_CRITICAL, ResourceClass.AREA_AND_DELAY_CRITICAL)
+
+
+#: Component kinds that are functional units (eligible for classification).
+FUNCTIONAL_KINDS = (
+    ComponentKind.ALU,
+    ComponentKind.MULTIPLIER,
+    ComponentKind.SHIFTER,
+    ComponentKind.MULTIPLEXER,
+)
+
+
+@dataclass(frozen=True)
+class ClassificationThresholds:
+    """Relative thresholds for calling a resource critical.
+
+    A resource is *area-critical* when its area exceeds
+    ``area_fraction`` x (total functional area of the PE), and
+    *delay-critical* when its delay exceeds ``delay_fraction`` x (PE
+    critical-path delay estimate).  The defaults reproduce the paper's
+    choice: only the array multiplier (45.7% of the area, 77% of the delay)
+    qualifies.
+    """
+
+    area_fraction: float = 0.40
+    delay_fraction: float = 0.50
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.area_fraction < 1.0):
+            raise ArchitectureError("area_fraction must be in (0, 1)")
+        if not (0.0 < self.delay_fraction < 1.0):
+            raise ArchitectureError("delay_fraction must be in (0, 1)")
+
+
+def classify_components(
+    library: ComponentLibrary,
+    thresholds: Optional[ClassificationThresholds] = None,
+) -> Dict[str, ResourceClass]:
+    """Classify every functional component of ``library``.
+
+    Returns a mapping from component name to :class:`ResourceClass`.
+    """
+    thresholds = thresholds or ClassificationThresholds()
+    functional = [
+        component
+        for component in library.components()
+        if component.kind in FUNCTIONAL_KINDS
+    ]
+    if not functional:
+        raise ArchitectureError("component library has no functional units to classify")
+    total_area = sum(component.area_slices for component in functional)
+    total_delay = sum(component.delay_ns for component in functional)
+
+    result: Dict[str, ResourceClass] = {}
+    for component in functional:
+        area_critical = component.area_slices > thresholds.area_fraction * total_area
+        delay_critical = component.delay_ns > thresholds.delay_fraction * total_delay
+        if area_critical and delay_critical:
+            result[component.name] = ResourceClass.AREA_AND_DELAY_CRITICAL
+        elif area_critical:
+            result[component.name] = ResourceClass.AREA_CRITICAL
+        elif delay_critical:
+            result[component.name] = ResourceClass.DELAY_CRITICAL
+        else:
+            result[component.name] = ResourceClass.PRIMITIVE
+    return result
+
+
+def critical_components(
+    library: ComponentLibrary,
+    thresholds: Optional[ClassificationThresholds] = None,
+) -> List[Component]:
+    """The components classified as critical, sorted by decreasing area."""
+    classification = classify_components(library, thresholds)
+    critical = [
+        library.get(name)
+        for name, resource_class in classification.items()
+        if resource_class.is_critical
+    ]
+    return sorted(critical, key=lambda component: component.area_slices, reverse=True)
+
+
+#: Which component executes each operation type.
+_OPTYPE_TO_COMPONENT = {
+    OpType.MUL: "array_multiplier",
+    OpType.ADD: "alu",
+    OpType.SUB: "alu",
+    OpType.ABS: "alu",
+    OpType.AND: "alu",
+    OpType.OR: "alu",
+    OpType.XOR: "alu",
+    OpType.MIN: "alu",
+    OpType.MAX: "alu",
+    OpType.MOV: "alu",
+    OpType.SHIFT: "shift_logic",
+}
+
+
+def component_for_optype(optype: OpType) -> Optional[str]:
+    """Component-library name of the unit executing ``optype``.
+
+    Memory operations, constants and NOPs return ``None`` — they use the
+    data buses / configuration cache rather than a functional unit.
+    """
+    return _OPTYPE_TO_COMPONENT.get(optype)
+
+
+def optypes_for_component(component_name: str) -> List[OpType]:
+    """Operation types executed on the named component."""
+    return [optype for optype, name in _OPTYPE_TO_COMPONENT.items() if name == component_name]

@@ -1,0 +1,191 @@
+"""RSP template parameters and design-space enumeration.
+
+Paper Section 4 lists the principal parameters of the RSP template:
+
+* the types of shared functional resources,
+* the types of pipelined resources,
+* the number of pipeline stages of the pipelined resources,
+* the number of rows of the shared resources (``shr``),
+* the number of columns of the shared resources (``shc``).
+
+:class:`RSPParameters` captures one assignment of those parameters and
+converts it into a concrete :class:`~repro.arch.template.ArchitectureSpec`;
+:func:`enumerate_design_space` generates the candidate set swept by the
+design-space exploration.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.arch.array import ArraySpec
+from repro.arch.template import (
+    ArchitectureSpec,
+    PipeliningSpec,
+    SharingTopology,
+    default_array_spec,
+)
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class RSPParameters:
+    """One point of the RSP parameter space.
+
+    Attributes
+    ----------
+    shared_resources:
+        Component names of the shared (area-critical) resources.  Empty
+        means no sharing (the base design).
+    pipelined_resources:
+        Component names of the pipelined (delay-critical) resources.
+        Must be a subset of ``shared_resources`` for RSP designs; an empty
+        tuple means no pipelining.
+    pipeline_stages:
+        Number of stages the pipelined resources are split into.
+    rows_shared / cols_shared:
+        ``shr`` / ``shc`` of paper Eq. 2.
+    """
+
+    shared_resources: Tuple[str, ...] = ()
+    pipelined_resources: Tuple[str, ...] = ()
+    pipeline_stages: int = 1
+    rows_shared: int = 0
+    cols_shared: int = 0
+
+    def __post_init__(self) -> None:
+        if self.pipeline_stages < 1:
+            raise ExplorationError("pipeline_stages must be at least 1")
+        if self.rows_shared < 0 or self.cols_shared < 0:
+            raise ExplorationError("shared-resource counts must be non-negative")
+        if self.pipelined_resources and self.pipeline_stages < 2:
+            raise ExplorationError(
+                "pipelined resources require at least two pipeline stages"
+            )
+        if self.shared_resources and self.rows_shared == 0 and self.cols_shared == 0:
+            raise ExplorationError(
+                "shared resources require rows_shared or cols_shared to be positive"
+            )
+        if not self.shared_resources and (self.rows_shared or self.cols_shared):
+            raise ExplorationError(
+                "rows_shared/cols_shared given but no shared resource type named"
+            )
+
+    # ------------------------------------------------------------------
+    # Classification helpers
+    # ------------------------------------------------------------------
+    @property
+    def uses_sharing(self) -> bool:
+        return bool(self.shared_resources) and (self.rows_shared > 0 or self.cols_shared > 0)
+
+    @property
+    def uses_pipelining(self) -> bool:
+        return bool(self.pipelined_resources) and self.pipeline_stages > 1
+
+    @property
+    def kind(self) -> str:
+        """``"base"``, ``"rs"``, ``"rp"`` or ``"rsp"``."""
+        if self.uses_sharing and self.uses_pipelining:
+            return "rsp"
+        if self.uses_sharing:
+            return "rs"
+        if self.uses_pipelining:
+            return "rp"
+        return "base"
+
+    # ------------------------------------------------------------------
+    # Conversion
+    # ------------------------------------------------------------------
+    def to_architecture(
+        self,
+        array: Optional[ArraySpec] = None,
+        name: Optional[str] = None,
+    ) -> ArchitectureSpec:
+        """Instantiate the architecture described by these parameters."""
+        array_spec = array or default_array_spec()
+        stages = self.pipeline_stages if self.uses_pipelining else 1
+        shared_resource = self.shared_resources[0] if self.shared_resources else "array_multiplier"
+        derived_name = name or self.describe()
+        return ArchitectureSpec(
+            name=derived_name,
+            array=array_spec,
+            sharing=SharingTopology(
+                rows_shared=self.rows_shared, cols_shared=self.cols_shared
+            ),
+            pipelining=PipeliningSpec(stages=stages),
+            shared_resource=shared_resource,
+        )
+
+    def describe(self) -> str:
+        """Compact human-readable description, e.g. ``rsp(shr=2,shc=0,stages=2)``."""
+        if self.kind == "base":
+            return "base"
+        return (
+            f"{self.kind}(shr={self.rows_shared},shc={self.cols_shared},"
+            f"stages={self.pipeline_stages if self.uses_pipelining else 1})"
+        )
+
+
+def base_parameters() -> RSPParameters:
+    """Parameters describing the base architecture (no sharing, no pipelining)."""
+    return RSPParameters()
+
+
+def paper_parameters(design: int, pipelined: bool) -> RSPParameters:
+    """Parameters of paper design ``RS#design`` / ``RSP#design`` (design in 1..4)."""
+    topologies = {1: (1, 0), 2: (2, 0), 3: (2, 1), 4: (2, 2)}
+    if design not in topologies:
+        raise ExplorationError(f"paper design index must be 1..4, got {design}")
+    rows_shared, cols_shared = topologies[design]
+    return RSPParameters(
+        shared_resources=("array_multiplier",),
+        pipelined_resources=("array_multiplier",) if pipelined else (),
+        pipeline_stages=2 if pipelined else 1,
+        rows_shared=rows_shared,
+        cols_shared=cols_shared,
+    )
+
+
+def enumerate_design_space(
+    shared_resource: str = "array_multiplier",
+    max_rows_shared: int = 2,
+    max_cols_shared: int = 2,
+    stage_options: Sequence[int] = (1, 2),
+    include_base: bool = True,
+) -> List[RSPParameters]:
+    """Enumerate RSP parameter candidates for exploration.
+
+    The sweep covers every combination of ``shr`` in ``0..max_rows_shared``,
+    ``shc`` in ``0..max_cols_shared`` (excluding the all-zero combination,
+    which is the base design) and every pipeline-stage option.  Stage counts
+    greater than one produce RSP candidates, a stage count of one produces
+    RS candidates.
+    """
+    if max_rows_shared < 0 or max_cols_shared < 0:
+        raise ExplorationError("sharing bounds must be non-negative")
+    if not stage_options:
+        raise ExplorationError("at least one pipeline-stage option is required")
+    candidates: List[RSPParameters] = []
+    if include_base:
+        candidates.append(base_parameters())
+    for rows_shared, cols_shared in itertools.product(
+        range(max_rows_shared + 1), range(max_cols_shared + 1)
+    ):
+        if rows_shared == 0 and cols_shared == 0:
+            continue
+        for stages in sorted(set(stage_options)):
+            if stages < 1:
+                raise ExplorationError(f"invalid pipeline stage count: {stages}")
+            pipelined = stages > 1
+            candidates.append(
+                RSPParameters(
+                    shared_resources=(shared_resource,),
+                    pipelined_resources=(shared_resource,) if pipelined else (),
+                    pipeline_stages=stages,
+                    rows_shared=rows_shared,
+                    cols_shared=cols_shared,
+                )
+            )
+    return candidates

@@ -1,0 +1,215 @@
+"""Upper-bound stall estimation for RSP design-space exploration.
+
+"The mapping and evaluation of all the candidate RSP designs are
+time-consuming.  Therefore, in the RSP exploration stage, we use the upper
+bound for the performance estimation" (paper Section 4).  Two stall kinds
+are counted on the *initial* (base-architecture) configuration context:
+
+* **RS stalls** — in every cycle the number of operations destined for the
+  critical resource is compared with the number of reachable shared
+  resources; overflowing operations (those of later loop iterations) are
+  pushed to the next cycle, and every push of the frontier costs one stall
+  cycle.
+* **RP stalls** — operations executed on a pipelined resource take
+  ``stages`` cycles, so their dependents must be delayed; consecutive
+  pipelined operations overlap, removing the shared cycles.
+
+The estimator works on a :class:`ScheduleProfile`, a lightweight summary of
+the base schedule, so this module does not depend on the mapper.  The exact
+cycle counts used for the paper's Tables 4/5 come from re-scheduling in
+:mod:`repro.mapping`; the estimator is intentionally pessimistic (an upper
+bound), which is what the exploration needs to reject under-provisioned
+designs safely.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.template import ArchitectureSpec
+from repro.errors import ExplorationError
+
+
+@dataclass(frozen=True)
+class CriticalOpIssue:
+    """One critical-resource operation issued in the base schedule.
+
+    Attributes
+    ----------
+    cycle:
+        Issue cycle in the base schedule.
+    row / col:
+        Position of the PE issuing the operation.
+    iteration:
+        Loop iteration the operation belongs to (RS rule: later iterations
+        are the ones pushed back on conflicts).
+    has_immediate_dependent:
+        True when another operation consumes this result in the very next
+        cycle of the base schedule (RP rule: that dependent must be
+        delayed when the resource is pipelined).
+    """
+
+    cycle: int
+    row: int
+    col: int
+    iteration: int
+    has_immediate_dependent: bool = False
+
+
+@dataclass(frozen=True)
+class ScheduleProfile:
+    """Summary of a base-architecture schedule used for stall estimation.
+
+    Attributes
+    ----------
+    kernel:
+        Name of the kernel the profile was extracted from.
+    length:
+        Schedule length of the base mapping in cycles.
+    critical_issues:
+        All critical-resource (multiplication) issues of the schedule.
+    rows / cols:
+        Array dimensions the schedule was produced for.
+    """
+
+    kernel: str
+    length: int
+    critical_issues: Tuple[CriticalOpIssue, ...]
+    rows: int
+    cols: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ExplorationError("schedule profile length must be positive")
+        if self.rows <= 0 or self.cols <= 0:
+            raise ExplorationError("schedule profile dimensions must be positive")
+
+    @property
+    def max_critical_per_cycle(self) -> int:
+        """Maximum number of critical operations issued in any single cycle."""
+        per_cycle: Dict[int, int] = defaultdict(int)
+        for issue in self.critical_issues:
+            per_cycle[issue.cycle] += 1
+        return max(per_cycle.values()) if per_cycle else 0
+
+    def issues_by_cycle(self) -> Dict[int, List[CriticalOpIssue]]:
+        """Critical issues grouped by their base-schedule cycle."""
+        grouped: Dict[int, List[CriticalOpIssue]] = defaultdict(list)
+        for issue in self.critical_issues:
+            grouped[issue.cycle].append(issue)
+        return dict(grouped)
+
+
+@dataclass(frozen=True)
+class StallEstimate:
+    """Result of the upper-bound stall estimation for one design point."""
+
+    kernel: str
+    architecture: str
+    rs_stalls: int
+    rp_stalls: int
+    base_cycles: int
+
+    @property
+    def total_stalls(self) -> int:
+        return self.rs_stalls + self.rp_stalls
+
+    @property
+    def estimated_cycles(self) -> int:
+        """Upper-bound cycle count: base schedule plus all stalls."""
+        return self.base_cycles + self.total_stalls
+
+
+class StallEstimator:
+    """Estimate RS and RP stalls for an RSP candidate (paper Section 4)."""
+
+    def estimate(self, profile: ScheduleProfile, spec: ArchitectureSpec) -> StallEstimate:
+        """Upper-bound stall estimate for executing ``profile`` on ``spec``."""
+        rs_stalls = self.estimate_rs_stalls(profile, spec)
+        rp_stalls = self.estimate_rp_stalls(profile, spec)
+        return StallEstimate(
+            kernel=profile.kernel,
+            architecture=spec.name,
+            rs_stalls=rs_stalls,
+            rp_stalls=rp_stalls,
+            base_cycles=profile.length,
+        )
+
+    # ------------------------------------------------------------------
+    # RS stalls
+    # ------------------------------------------------------------------
+    def estimate_rs_stalls(self, profile: ScheduleProfile, spec: ArchitectureSpec) -> int:
+        """Stall cycles caused by a shortage of shared critical resources.
+
+        Implements the paper's first rearrangement rule: per cycle, shared
+        resources are granted in loop-iteration order; overflowing
+        operations move to the next cycle.  Every cycle appended beyond the
+        original schedule length counts as one RS stall.
+        """
+        if not spec.uses_sharing:
+            return 0
+        issues_by_cycle = profile.issues_by_cycle()
+        if not issues_by_cycle:
+            return 0
+        rows_capacity = spec.sharing.rows_shared
+        cols_capacity = spec.sharing.cols_shared
+
+        carried: List[CriticalOpIssue] = []
+        cycle = 0
+        last_cycle_with_work = max(issues_by_cycle)
+        extra_cycles = 0
+        # Walk cycles until both the original schedule and the carried
+        # backlog are drained.
+        while cycle <= last_cycle_with_work or carried:
+            pending = sorted(
+                carried + issues_by_cycle.get(cycle, []),
+                key=lambda issue: (issue.iteration, issue.cycle, issue.row, issue.col),
+            )
+            carried = []
+            row_free: Dict[int, int] = defaultdict(lambda: rows_capacity)
+            col_free: Dict[int, int] = defaultdict(lambda: cols_capacity)
+            for issue in pending:
+                if row_free[issue.row] > 0:
+                    row_free[issue.row] -= 1
+                elif col_free[issue.col] > 0:
+                    col_free[issue.col] -= 1
+                else:
+                    carried.append(issue)
+            if cycle > last_cycle_with_work:
+                extra_cycles += 1
+            cycle += 1
+        return extra_cycles
+
+    # ------------------------------------------------------------------
+    # RP stalls
+    # ------------------------------------------------------------------
+    def estimate_rp_stalls(self, profile: ScheduleProfile, spec: ArchitectureSpec) -> int:
+        """Stall cycles caused by the multi-cycle latency of pipelined resources.
+
+        Every base-schedule cycle that issues at least one critical
+        operation whose result is consumed in the immediately following
+        cycle forces its dependents back by ``stages - 1`` cycles.
+        Consecutive such cycles overlap (the paper's "overlapped cycles
+        between the operations should be removed"), so a run of consecutive
+        multiplication cycles only pays the penalty once.
+        """
+        if not spec.uses_pipelining:
+            return 0
+        extra_per_occurrence = spec.pipelining.stages - 1
+        cycles_with_dependents = sorted(
+            {
+                issue.cycle
+                for issue in profile.critical_issues
+                if issue.has_immediate_dependent
+            }
+        )
+        if not cycles_with_dependents:
+            return 0
+        # Collapse consecutive runs: each run pays the pipeline fill once.
+        runs = 1
+        for previous, current in zip(cycles_with_dependents, cycles_with_dependents[1:]):
+            if current != previous + 1:
+                runs += 1
+        return runs * extra_per_occurrence

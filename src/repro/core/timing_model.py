@@ -1,0 +1,181 @@
+"""Critical-path (clock period) model.
+
+Paper Table 2 reports the array critical path of the nine evaluated
+designs.  The structure of those numbers is:
+
+* **Base** — the critical path runs through the PE's operand multiplexer,
+  the array multiplier and the shift/output stage (25.6 ns per Table 1)
+  plus a small array-level wiring margin (26 ns for the array).
+* **RS#k** — the multiplier moves outside the PE, so the path additionally
+  traverses the bus switch twice (operands out, product back); the switch
+  delay grows with the number of reachable shared resources.
+* **RSP#k** — the shared multiplier is pipelined, so the longest
+  single-cycle path inside the PE is the ALU path (multiplexer + ALU +
+  shift logic, 15.3 ns per Table 2) and the multiplier stage path is no
+  longer limiting; the bus switch detour still applies.
+
+The model composes these paths from the component library so the same
+code evaluates non-paper design points (different stage counts, different
+shared resources) during exploration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.components import ComponentLibrary, default_component_library
+from repro.arch.template import ArchitectureSpec
+from repro.errors import TimingModelError
+
+#: Array-level wiring margin added on top of the PE path (calibrated from
+#: the 26 ns base array path vs. the 25.6 ns PE path of paper Tables 1/2).
+DEFAULT_WIRING_MARGIN_NS = 0.4
+
+
+@dataclass(frozen=True)
+class TimingBreakdown:
+    """Critical-path contributions of one design point (nanoseconds)."""
+
+    architecture: str
+    pe_internal_path_ns: float
+    shared_resource_path_ns: float
+    switch_detour_ns: float
+    wiring_margin_ns: float
+    critical_path_ns: float
+
+
+class TimingModel:
+    """Critical-path estimator for RSP design points."""
+
+    def __init__(
+        self,
+        library: Optional[ComponentLibrary] = None,
+        wiring_margin_ns: float = DEFAULT_WIRING_MARGIN_NS,
+    ) -> None:
+        if wiring_margin_ns < 0:
+            raise TimingModelError("wiring margin must be non-negative")
+        self.library = library or default_component_library()
+        self.wiring_margin_ns = wiring_margin_ns
+
+    # ------------------------------------------------------------------
+    # PE-internal paths
+    # ------------------------------------------------------------------
+    def full_pe_path_ns(self) -> float:
+        """Critical path of a base PE containing its own multiplier.
+
+        Multiplexer + multiplier + shift logic + output register/glue; with
+        the default library this reproduces the 25.6 ns of paper Table 1.
+        """
+        return (
+            self.library.multiplexer.delay_ns
+            + self.library.multiplier.delay_ns
+            + self.library.shifter.delay_ns
+            + self.library.get("output_register").delay_ns
+        )
+
+    def primitive_pe_path_ns(self) -> float:
+        """Critical path through the primitive resources only (no multiplier).
+
+        Multiplexer + ALU + shift logic; with the default library this is
+        15.3 ns, matching the pipelined-PE path of paper Table 2.  The
+        output-register overhead is absorbed by the pipeline register in the
+        pipelined designs.
+        """
+        return (
+            self.library.multiplexer.delay_ns
+            + self.library.alu.delay_ns
+            + self.library.shifter.delay_ns
+        )
+
+    def shared_resource_stage_ns(self, spec: ArchitectureSpec) -> float:
+        """Delay of one pipeline stage of the shared resource."""
+        resource = self.library.get(spec.shared_resource)
+        stages = spec.pipelining.stages
+        stage_delay = resource.delay_ns / stages
+        if spec.uses_pipelining:
+            stage_delay += self.library.pipeline_register.delay_ns
+        return stage_delay
+
+    def switch_detour_ns(self, spec: ArchitectureSpec) -> float:
+        """Round-trip delay through the bus switch (operands out, result back)."""
+        ports = spec.switch_ports_per_pe
+        if ports == 0:
+            return 0.0
+        return 2.0 * self.library.bus_switch(ports).delay_ns
+
+    # ------------------------------------------------------------------
+    # Array critical path
+    # ------------------------------------------------------------------
+    def breakdown(self, spec: ArchitectureSpec) -> TimingBreakdown:
+        """Detailed critical-path composition for ``spec``."""
+        switch_detour = self.switch_detour_ns(spec)
+        if spec.is_base or (not spec.uses_sharing and not spec.uses_pipelining):
+            pe_path = self.full_pe_path_ns()
+            shared_path = 0.0
+            critical = pe_path + self.wiring_margin_ns
+        elif spec.uses_sharing and not spec.uses_pipelining:
+            # RS: the multiplication path still traverses the full multiplier,
+            # now reached through the bus switch.
+            pe_path = self.full_pe_path_ns()
+            shared_path = pe_path + switch_detour
+            critical = max(self.primitive_pe_path_ns() + self.wiring_margin_ns, shared_path)
+        elif spec.uses_sharing and spec.uses_pipelining:
+            # RSP: the multiplier stage is pipelined, so the limiting
+            # single-cycle path is the primitive PE path extended by the
+            # bus-switch detour of the sharing network.
+            pe_path = self.primitive_pe_path_ns()
+            stage = self.shared_resource_stage_ns(spec)
+            mux_to_stage = self.library.multiplexer.delay_ns + stage + switch_detour
+            shared_path = mux_to_stage
+            critical = max(pe_path + switch_detour, mux_to_stage)
+        else:
+            # RP only (pipelined per-PE multiplier) — an ablation point the
+            # paper motivates with Figure 5 but does not synthesise.
+            stage = self.shared_resource_stage_ns(spec)
+            pe_path = max(
+                self.primitive_pe_path_ns(),
+                self.library.multiplexer.delay_ns + stage + self.library.shifter.delay_ns,
+            )
+            shared_path = 0.0
+            critical = pe_path + self.wiring_margin_ns
+        return TimingBreakdown(
+            architecture=spec.name,
+            pe_internal_path_ns=pe_path,
+            shared_resource_path_ns=shared_path,
+            switch_detour_ns=switch_detour,
+            wiring_margin_ns=self.wiring_margin_ns,
+            critical_path_ns=critical,
+        )
+
+    def critical_path_ns(self, spec: ArchitectureSpec) -> float:
+        """The array critical path (clock period) of ``spec`` in nanoseconds."""
+        return self.breakdown(spec).critical_path_ns
+
+    def clock_frequency_mhz(self, spec: ArchitectureSpec) -> float:
+        """Maximum clock frequency implied by the critical path."""
+        period = self.critical_path_ns(spec)
+        if period <= 0:
+            raise TimingModelError("critical path must be positive")
+        return 1000.0 / period
+
+    def delay_reduction_percent(self, spec: ArchitectureSpec,
+                                base: Optional[ArchitectureSpec] = None) -> float:
+        """Critical-path reduction of ``spec`` vs. ``base`` in percent.
+
+        Positive values mean a shorter (better) critical path.  Matches the
+        sign convention of the ``R(%)`` column of paper Table 2, where RS
+        designs show negative reductions (their path is longer than the
+        base) and RSP designs show positive ones.
+        """
+        base_spec = base or _implicit_base(spec)
+        base_path = self.critical_path_ns(base_spec)
+        if base_path <= 0:
+            raise TimingModelError("base critical path must be positive")
+        return 100.0 * (base_path - self.critical_path_ns(spec)) / base_path
+
+
+def _implicit_base(spec: ArchitectureSpec) -> ArchitectureSpec:
+    from repro.arch.template import base_architecture
+
+    return base_architecture(spec.array.rows, spec.array.cols)

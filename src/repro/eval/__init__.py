@@ -1,0 +1,67 @@
+"""Evaluation harness: metrics, paper tables, figures and the full report."""
+
+from repro.eval.metrics import (
+    PerformanceRecord,
+    delay_reduction_percent,
+    execution_time_ns,
+    performance_record,
+    speedup,
+)
+from repro.eval.tables import (
+    PerformanceTable,
+    Table1Entry,
+    Table3Entry,
+    format_performance_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    performance_table,
+    table1_pe_components,
+    table2_architectures,
+    table3_kernels,
+    table4_livermore,
+    table5_dsp,
+)
+from repro.eval.figures import (
+    render_exploration_flow,
+    render_pareto_plot,
+    render_schedule_figure,
+    render_sharing_topology,
+)
+from repro.eval.report import (
+    ExperimentReport,
+    HeadlineClaims,
+    build_report,
+    compute_headline_claims,
+    report_to_markdown,
+)
+
+__all__ = [
+    "PerformanceRecord",
+    "delay_reduction_percent",
+    "execution_time_ns",
+    "performance_record",
+    "speedup",
+    "PerformanceTable",
+    "Table1Entry",
+    "Table3Entry",
+    "format_performance_table",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "performance_table",
+    "table1_pe_components",
+    "table2_architectures",
+    "table3_kernels",
+    "table4_livermore",
+    "table5_dsp",
+    "render_exploration_flow",
+    "render_pareto_plot",
+    "render_schedule_figure",
+    "render_sharing_topology",
+    "ExperimentReport",
+    "HeadlineClaims",
+    "build_report",
+    "compute_headline_claims",
+    "report_to_markdown",
+]

@@ -1,0 +1,158 @@
+"""ASCII renderings of the paper's figures.
+
+* :func:`render_schedule_figure` — the loop-pipelined schedule grid of
+  Figures 2 and 6 (array columns as rows, cycles as columns; pipelined
+  multiplications appear as ``1*``/``2*`` across consecutive cycles).
+* :func:`render_sharing_topology` — the sharing topologies of Figure 8
+  (which rows/columns of the array have how many shared multipliers).
+* :func:`render_exploration_flow` — the design-flow of Figure 7 as a text
+  diagram.
+* :func:`render_pareto_plot` — a coarse text scatter of the exploration's
+  area/execution-time trade-off (the Pareto filtering of Section 4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.arch.template import ArchitectureSpec
+from repro.core.exploration import DesignPointEvaluation
+from repro.ir.dfg import OpType
+from repro.mapping.schedule import Schedule
+
+
+def _stage_label(optype: OpType, stage: int, stages: int) -> str:
+    """Cell label for an operation stage (``1*``/``2*`` for pipelined mults)."""
+    base_label = {
+        OpType.LOAD: "Ld",
+        OpType.STORE: "St",
+        OpType.MUL: "*",
+        OpType.ADD: "+",
+        OpType.SUB: "-",
+        OpType.ABS: "abs",
+        OpType.SHIFT: "<<",
+    }.get(optype, optype.value)
+    if optype is OpType.MUL and stages > 1:
+        return f"{stage + 1}*"
+    return base_label
+
+
+def render_schedule_figure(
+    schedule: Schedule,
+    max_cycles: Optional[int] = None,
+    cell_width: int = 9,
+) -> str:
+    """Render ``schedule`` in the layout of paper Figures 2 and 6.
+
+    Rows are the array columns (``col#1`` at the bottom like the paper),
+    columns are cycles, and every cell lists the operations active on the
+    PEs of that array column in that cycle.
+    """
+    cycles = schedule.length if max_cycles is None else min(schedule.length, max_cycles)
+    cols = schedule.architecture.array.cols
+    cells: Dict[Tuple[int, int], List[str]] = defaultdict(list)
+    for entry in schedule.operations():
+        for stage in range(entry.latency):
+            cycle = entry.cycle + stage
+            if cycle >= cycles:
+                continue
+            label = _stage_label(entry.operation.optype, stage, entry.latency)
+            cells[(entry.col, cycle)].append(label)
+
+    header = ["col \\ cycle"] + [str(cycle + 1) for cycle in range(cycles)]
+    lines = ["  ".join(cell.ljust(cell_width) for cell in header).rstrip()]
+    for col in reversed(range(cols)):
+        row_cells = [f"col#{col + 1}"]
+        for cycle in range(cycles):
+            content = ",".join(cells.get((col, cycle), [])) or "."
+            if len(content) > cell_width:
+                content = content[: cell_width - 1] + "+"
+            row_cells.append(content)
+        lines.append("  ".join(cell.ljust(cell_width) for cell in row_cells).rstrip())
+    title = (
+        f"Loop-pipelined schedule of {schedule.kernel_name!r} on "
+        f"{schedule.architecture.name} ({schedule.length} cycles)"
+    )
+    return title + "\n" + "\n".join(lines)
+
+
+def render_sharing_topology(spec: ArchitectureSpec) -> str:
+    """Render the sharing topology of ``spec`` in the style of paper Figure 8."""
+    rows, cols = spec.array.rows, spec.array.cols
+    lines = [f"{spec.name}: {rows}x{cols} PE array"]
+    if not spec.uses_sharing:
+        lines.append("  every PE keeps its own array multiplier (no sharing)")
+        return "\n".join(lines)
+    row_units = spec.sharing.rows_shared
+    col_units = spec.sharing.cols_shared
+    stage_text = (
+        f"{spec.pipelining.stages}-stage pipelined" if spec.uses_pipelining else "combinational"
+    )
+    lines.append(
+        f"  shared multipliers: {row_units} per row, {col_units} per column "
+        f"({spec.total_shared_units} total, {stage_text})"
+    )
+    col_band = ""
+    if col_units:
+        col_band = "  " + " ".join("MUL" * 1 for _ in range(cols))
+        lines.append(f"  column-shared multipliers x{col_units}: " + "[MUL] " * cols)
+    for row in range(rows):
+        pe_row = "PE " * cols
+        row_mults = "  " + "[MUL] " * row_units if row_units else ""
+        lines.append(f"  row {row}: {pe_row.strip()}{row_mults}")
+    return "\n".join(lines)
+
+
+def render_exploration_flow() -> str:
+    """The RSP design-space exploration flow of paper Figure 7 as text."""
+    steps = [
+        "Applications in the target domain",
+        "Profiling  ->  selected critical loops",
+        "Base architecture exploration  ->  base architecture",
+        "Pipeline mapping  ->  initial configuration contexts",
+        "RSP exploration (cost Eq. 2 + stall upper bound, Pareto filter)  ->  RSP parameters",
+        "RSP mapping (context rearrangement)  ->  RSP configuration contexts",
+        "RTL modeling and synthesis",
+    ]
+    lines = ["RSP design space exploration flow (paper Figure 7)"]
+    for index, step in enumerate(steps):
+        prefix = "  " + ("|-> " if index else "")
+        lines.append(prefix + step)
+    return "\n".join(lines)
+
+
+def render_pareto_plot(
+    evaluations: Sequence[DesignPointEvaluation],
+    pareto: Sequence[DesignPointEvaluation],
+    width: int = 60,
+    height: int = 18,
+) -> str:
+    """Coarse text scatter plot of area vs. execution time.
+
+    Pareto-optimal points are drawn as ``P``, dominated points as ``o``.
+    """
+    if not evaluations:
+        return "(no design points)"
+    areas = [evaluation.area_slices for evaluation in evaluations]
+    times = [evaluation.total_execution_time_ns for evaluation in evaluations]
+    min_area, max_area = min(areas), max(areas)
+    min_time, max_time = min(times), max(times)
+    area_span = max(max_area - min_area, 1e-9)
+    time_span = max(max_time - min_time, 1e-9)
+    grid = [[" " for _ in range(width)] for _ in range(height)]
+    pareto_names = {evaluation.architecture.name for evaluation in pareto}
+    for evaluation in evaluations:
+        x = int((evaluation.total_execution_time_ns - min_time) / time_span * (width - 1))
+        y = int((evaluation.area_slices - min_area) / area_span * (height - 1))
+        marker = "P" if evaluation.architecture.name in pareto_names else "o"
+        grid[height - 1 - y][x] = marker
+    lines = ["area (slices) ^   [P = Pareto-optimal, o = dominated]"]
+    for row in grid:
+        lines.append("  |" + "".join(row))
+    lines.append("  +" + "-" * width + "> execution time (ns)")
+    lines.append(
+        f"  area range [{min_area:.0f}, {max_area:.0f}] slices, "
+        f"execution time range [{min_time:.0f}, {max_time:.0f}] ns"
+    )
+    return "\n".join(lines)

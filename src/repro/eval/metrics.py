@@ -1,0 +1,101 @@
+"""Performance metrics used by the evaluation tables.
+
+The paper reports, per (kernel, architecture) pair:
+
+* ``cycle``   — the schedule length of the mapped kernel,
+* ``ET(ns)``  — execution time = cycles x critical-path delay,
+* ``DR(%)``   — delay (execution-time) reduction vs. the base architecture,
+* ``stall``   — stall cycles caused by a lack of shared resources.
+
+:class:`PerformanceRecord` bundles those four values together with the
+clock period used, and :func:`performance_record` computes them from a
+mapping result and the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.timing_model import TimingModel
+from repro.errors import ReproError
+from repro.mapping.mapper import MappingResult
+
+
+def execution_time_ns(cycles: int, critical_path_ns: float) -> float:
+    """Execution time in nanoseconds (paper: ``ET = cycle x critical path delay``)."""
+    if cycles < 0:
+        raise ReproError("cycle count must be non-negative")
+    if critical_path_ns <= 0:
+        raise ReproError("critical path must be positive")
+    return cycles * critical_path_ns
+
+
+def delay_reduction_percent(base_execution_time_ns: float, execution_time: float) -> float:
+    """Delay-reduction percentage vs. a base execution time.
+
+    Positive values mean the design is faster than the base; negative
+    values mean it is slower (the sign convention of paper Tables 4/5).
+    """
+    if base_execution_time_ns <= 0:
+        raise ReproError("base execution time must be positive")
+    return 100.0 * (base_execution_time_ns - execution_time) / base_execution_time_ns
+
+
+def speedup(base_execution_time_ns: float, execution_time: float) -> float:
+    """Classical speedup factor of a design over the base."""
+    if execution_time <= 0:
+        raise ReproError("execution time must be positive")
+    return base_execution_time_ns / execution_time
+
+
+@dataclass(frozen=True)
+class PerformanceRecord:
+    """Measured performance of one kernel on one architecture."""
+
+    kernel: str
+    architecture: str
+    cycles: int
+    critical_path_ns: float
+    execution_time: float
+    delay_reduction: float
+    stalls: Optional[int]
+
+    @property
+    def is_stalled(self) -> bool:
+        return bool(self.stalls)
+
+
+def performance_record(
+    result: MappingResult,
+    timing_model: TimingModel,
+    base_execution_time: Optional[float] = None,
+) -> PerformanceRecord:
+    """Build a :class:`PerformanceRecord` from a mapping result.
+
+    ``base_execution_time`` is the base architecture's execution time for
+    the same kernel; when omitted it is derived from the base cycles stored
+    in the mapping result and the base architecture's critical path.
+    """
+    from repro.arch.template import base_architecture
+
+    period = timing_model.critical_path_ns(result.architecture)
+    execution_time = execution_time_ns(result.cycles, period)
+    if base_execution_time is None:
+        base_spec = base_architecture(
+            result.architecture.array.rows, result.architecture.array.cols
+        )
+        base_period = timing_model.critical_path_ns(base_spec)
+        base_execution_time = execution_time_ns(result.base_cycles, base_period)
+    stalls: Optional[int] = result.stall_cycles
+    if result.architecture.is_base:
+        stalls = None
+    return PerformanceRecord(
+        kernel=result.kernel,
+        architecture=result.architecture.name,
+        cycles=result.cycles,
+        critical_path_ns=period,
+        execution_time=execution_time,
+        delay_reduction=delay_reduction_percent(base_execution_time, execution_time),
+        stalls=stalls,
+    )

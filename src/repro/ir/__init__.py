@@ -1,0 +1,21 @@
+"""Kernel intermediate representation: dataflow graphs and loop kernels."""
+
+from repro.ir.dfg import DFG, Operation, OpType, COMPUTE_OPTYPES
+from repro.ir.builder import DFGBuilder
+from repro.ir.loops import Kernel, KernelCharacterisation, BodyGenerator, FinalizeGenerator
+from repro.ir.validate import collect_dfg_problems, is_valid_dfg, validate_dfg
+
+__all__ = [
+    "DFG",
+    "Operation",
+    "OpType",
+    "COMPUTE_OPTYPES",
+    "DFGBuilder",
+    "Kernel",
+    "KernelCharacterisation",
+    "BodyGenerator",
+    "FinalizeGenerator",
+    "collect_dfg_problems",
+    "is_valid_dfg",
+    "validate_dfg",
+]

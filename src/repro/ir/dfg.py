@@ -1,0 +1,450 @@
+"""Dataflow-graph intermediate representation for kernel loops.
+
+The RSP flow (paper Section 4) operates on the *configuration contexts* of
+kernel loops, i.e. on the operations of the loop body and their data
+dependences.  This module provides the dataflow graph (DFG) representation
+used throughout the reproduction:
+
+* :class:`OpType` — the operation alphabet used by the paper's kernels
+  (load, store, multiply, add, subtract, absolute value, shift) plus a few
+  generic ALU operations so user kernels are not artificially restricted.
+* :class:`Operation` — a single operation instance, annotated with the loop
+  iteration it belongs to (the RS rearrangement rule orders operations by
+  iteration).
+* :class:`DFG` — the dependence graph, a thin convenience wrapper around a
+  :class:`networkx.DiGraph`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import DFGError, DFGValidationError, UnknownOperationError
+
+
+class OpType(enum.Enum):
+    """Operation types supported by the kernel IR.
+
+    The values correspond to the mnemonics used in the paper's Table 3
+    (``mult``, ``add``, ``sub``, ``abs``, ``shift``) plus memory operations
+    and a small set of additional ALU operations for user-defined kernels.
+    """
+
+    LOAD = "load"
+    STORE = "store"
+    MUL = "mult"
+    ADD = "add"
+    SUB = "sub"
+    ABS = "abs"
+    SHIFT = "shift"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    MIN = "min"
+    MAX = "max"
+    MOV = "mov"
+    CONST = "const"
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for operations that occupy a data-bus slot."""
+        return self in (OpType.LOAD, OpType.STORE)
+
+    @property
+    def is_multiplication(self) -> bool:
+        """True for operations executed on the (critical) array multiplier."""
+        return self is OpType.MUL
+
+    @property
+    def is_alu(self) -> bool:
+        """True for operations executed on the primitive ALU."""
+        return self in (
+            OpType.ADD,
+            OpType.SUB,
+            OpType.ABS,
+            OpType.AND,
+            OpType.OR,
+            OpType.XOR,
+            OpType.MIN,
+            OpType.MAX,
+            OpType.MOV,
+        )
+
+    @property
+    def is_shift(self) -> bool:
+        """True for operations executed on the shift logic."""
+        return self is OpType.SHIFT
+
+    @property
+    def produces_value(self) -> bool:
+        """True if the operation defines a value consumed by successors."""
+        return self not in (OpType.STORE, OpType.NOP)
+
+
+#: Operation types that require a functional unit inside (or shared by) a PE.
+COMPUTE_OPTYPES: Tuple[OpType, ...] = (
+    OpType.MUL,
+    OpType.ADD,
+    OpType.SUB,
+    OpType.ABS,
+    OpType.SHIFT,
+    OpType.AND,
+    OpType.OR,
+    OpType.XOR,
+    OpType.MIN,
+    OpType.MAX,
+    OpType.MOV,
+)
+
+
+@dataclass
+class Operation:
+    """A single operation instance in a kernel dataflow graph.
+
+    Attributes
+    ----------
+    name:
+        Unique identifier within the DFG.
+    optype:
+        The :class:`OpType` of the operation.
+    iteration:
+        Index of the loop iteration the operation belongs to.  The RS
+        rearrangement rule ("shared resources are assigned to PEs in the
+        order of loop iteration") sorts by this field.
+    array:
+        For memory operations, the symbolic name of the accessed array.
+    index:
+        For memory operations, the (symbolic or numeric) element index.
+    immediate:
+        Optional constant operand (e.g. shift amount, constant factor ``C``
+        of the paper's matrix-multiplication example).
+    comment:
+        Free-form annotation used by the figure renderers.
+    """
+
+    name: str
+    optype: OpType
+    iteration: int = 0
+    array: Optional[str] = None
+    index: Optional[int] = None
+    immediate: Optional[int] = None
+    comment: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise DFGError("operation name must be a non-empty string")
+        if not isinstance(self.optype, OpType):
+            raise DFGError(f"optype must be an OpType, got {self.optype!r}")
+        if self.iteration < 0:
+            raise DFGError(f"iteration must be non-negative, got {self.iteration}")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.optype.is_memory
+
+    @property
+    def is_multiplication(self) -> bool:
+        return self.optype.is_multiplication
+
+    def label(self) -> str:
+        """Short human-readable label used in schedule figures."""
+        if self.optype is OpType.LOAD:
+            return "Ld"
+        if self.optype is OpType.STORE:
+            return "St"
+        if self.optype is OpType.MUL:
+            return "*"
+        if self.optype is OpType.ADD:
+            return "+"
+        if self.optype is OpType.SUB:
+            return "-"
+        if self.optype is OpType.SHIFT:
+            return "<<"
+        if self.optype is OpType.ABS:
+            return "abs"
+        return self.optype.value
+
+
+class DFG:
+    """A kernel dataflow graph.
+
+    Nodes are operation names, node attribute ``op`` holds the
+    :class:`Operation`.  Edges are data dependences from producer to
+    consumer; the optional edge attribute ``port`` records which operand
+    port of the consumer the value feeds (0 or 1 for binary operations).
+    """
+
+    def __init__(self, name: str = "dfg") -> None:
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._counter = itertools.count()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def fresh_name(self, prefix: str) -> str:
+        """Return a new operation name unique within this DFG."""
+        while True:
+            candidate = f"{prefix}_{next(self._counter)}"
+            if candidate not in self._graph:
+                return candidate
+
+    def add_operation(self, operation: Operation) -> Operation:
+        """Add ``operation`` to the graph.  Names must be unique."""
+        if operation.name in self._graph:
+            raise DFGError(f"duplicate operation name: {operation.name!r}")
+        self._graph.add_node(operation.name, op=operation)
+        return operation
+
+    def add_dependence(self, producer: str, consumer: str, port: Optional[int] = None) -> None:
+        """Add a data dependence edge from ``producer`` to ``consumer``."""
+        for name in (producer, consumer):
+            if name not in self._graph:
+                raise UnknownOperationError(f"unknown operation: {name!r}")
+        if producer == consumer:
+            raise DFGError(f"self dependence on {producer!r} is not allowed")
+        self._graph.add_edge(producer, consumer, port=port)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._graph.number_of_nodes()
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._graph
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._graph.nodes)
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying :class:`networkx.DiGraph` (read-only use expected)."""
+        return self._graph
+
+    def operation(self, name: str) -> Operation:
+        """Return the :class:`Operation` registered under ``name``."""
+        try:
+            return self._graph.nodes[name]["op"]
+        except KeyError as exc:
+            raise UnknownOperationError(f"unknown operation: {name!r}") from exc
+
+    def operations(self) -> List[Operation]:
+        """All operations, in insertion order."""
+        return [self._graph.nodes[name]["op"] for name in self._graph.nodes]
+
+    def operations_of_type(self, optype: OpType) -> List[Operation]:
+        """All operations with the given type."""
+        return [op for op in self.operations() if op.optype is optype]
+
+    def predecessors(self, name: str) -> List[str]:
+        """Names of operations producing values consumed by ``name``."""
+        if name not in self._graph:
+            raise UnknownOperationError(f"unknown operation: {name!r}")
+        return list(self._graph.predecessors(name))
+
+    def successors(self, name: str) -> List[str]:
+        """Names of operations consuming the value produced by ``name``."""
+        if name not in self._graph:
+            raise UnknownOperationError(f"unknown operation: {name!r}")
+        return list(self._graph.successors(name))
+
+    def edges(self) -> List[Tuple[str, str]]:
+        """All dependence edges as (producer, consumer) pairs."""
+        return list(self._graph.edges())
+
+    def number_of_edges(self) -> int:
+        return self._graph.number_of_edges()
+
+    def topological_order(self) -> List[str]:
+        """Operation names in a topological order.
+
+        Raises :class:`DFGValidationError` when the graph has a cycle.
+        """
+        try:
+            return list(nx.topological_sort(self._graph))
+        except nx.NetworkXUnfeasible as exc:
+            raise DFGValidationError(f"DFG {self.name!r} contains a dependence cycle") from exc
+
+    def is_acyclic(self) -> bool:
+        """True when the dependence graph has no cycles."""
+        return nx.is_directed_acyclic_graph(self._graph)
+
+    def iterations(self) -> List[int]:
+        """Sorted list of distinct iteration indices present in the graph."""
+        return sorted({op.iteration for op in self.operations()})
+
+    def operations_in_iteration(self, iteration: int) -> List[Operation]:
+        """Operations annotated with the given iteration index."""
+        return [op for op in self.operations() if op.iteration == iteration]
+
+    def op_counts(self) -> Dict[OpType, int]:
+        """Histogram of operation types."""
+        counts: Dict[OpType, int] = {}
+        for op in self.operations():
+            counts[op.optype] = counts.get(op.optype, 0) + 1
+        return counts
+
+    def operation_set(self) -> List[OpType]:
+        """Sorted list of compute operation types used by the kernel.
+
+        Memory operations are excluded because paper Table 3 lists only the
+        computational operation set of each kernel.
+        """
+        present = {op.optype for op in self.operations() if not op.optype.is_memory}
+        present.discard(OpType.CONST)
+        present.discard(OpType.NOP)
+        return sorted(present, key=lambda optype: optype.value)
+
+    def multiplication_count(self) -> int:
+        """Total number of multiplication operations."""
+        return sum(1 for op in self.operations() if op.is_multiplication)
+
+    def memory_operation_count(self) -> int:
+        """Total number of load/store operations."""
+        return sum(1 for op in self.operations() if op.is_memory)
+
+    # ------------------------------------------------------------------
+    # Analysis
+    # ------------------------------------------------------------------
+    def depth(self, latency_of=None) -> int:
+        """Length of the longest dependence chain in cycles.
+
+        Parameters
+        ----------
+        latency_of:
+            Optional callable mapping an :class:`Operation` to its latency in
+            cycles.  Defaults to one cycle per operation.
+        """
+        if latency_of is None:
+            latency_of = lambda op: 1  # noqa: E731 - tiny default
+        finish: Dict[str, int] = {}
+        for name in self.topological_order():
+            op = self.operation(name)
+            start = 0
+            for pred in self.predecessors(name):
+                start = max(start, finish[pred])
+            finish[name] = start + latency_of(op)
+        return max(finish.values()) if finish else 0
+
+    def critical_path(self, latency_of=None) -> List[str]:
+        """Operation names along one longest dependence chain."""
+        if latency_of is None:
+            latency_of = lambda op: 1  # noqa: E731 - tiny default
+        finish: Dict[str, int] = {}
+        best_pred: Dict[str, Optional[str]] = {}
+        for name in self.topological_order():
+            op = self.operation(name)
+            start = 0
+            chosen: Optional[str] = None
+            for pred in self.predecessors(name):
+                if finish[pred] > start:
+                    start = finish[pred]
+                    chosen = pred
+            finish[name] = start + latency_of(op)
+            best_pred[name] = chosen
+        if not finish:
+            return []
+        tail = max(finish, key=lambda name: finish[name])
+        path = [tail]
+        while best_pred[path[-1]] is not None:
+            path.append(best_pred[path[-1]])  # type: ignore[arg-type]
+        return list(reversed(path))
+
+    # ------------------------------------------------------------------
+    # Composition / serialisation
+    # ------------------------------------------------------------------
+    def merge(self, other: "DFG", prefix: Optional[str] = None) -> Dict[str, str]:
+        """Copy all operations and edges of ``other`` into this graph.
+
+        Returns the mapping from names in ``other`` to the (possibly
+        prefixed) names created in this graph.
+        """
+        renaming: Dict[str, str] = {}
+        for op in other.operations():
+            new_name = op.name if prefix is None else f"{prefix}{op.name}"
+            if new_name in self._graph:
+                new_name = self.fresh_name(new_name)
+            renamed = Operation(
+                name=new_name,
+                optype=op.optype,
+                iteration=op.iteration,
+                array=op.array,
+                index=op.index,
+                immediate=op.immediate,
+                comment=op.comment,
+            )
+            self.add_operation(renamed)
+            renaming[op.name] = new_name
+        for producer, consumer in other.edges():
+            port = other.graph.edges[producer, consumer].get("port")
+            self.add_dependence(renaming[producer], renaming[consumer], port=port)
+        return renaming
+
+    def copy(self, name: Optional[str] = None) -> "DFG":
+        """Deep copy of the graph (operations are re-created)."""
+        clone = DFG(name or self.name)
+        clone.merge(self)
+        return clone
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-compatible representation of the graph."""
+        return {
+            "name": self.name,
+            "operations": [
+                {
+                    "name": op.name,
+                    "optype": op.optype.value,
+                    "iteration": op.iteration,
+                    "array": op.array,
+                    "index": op.index,
+                    "immediate": op.immediate,
+                    "comment": op.comment,
+                }
+                for op in self.operations()
+            ],
+            "edges": [
+                {
+                    "producer": producer,
+                    "consumer": consumer,
+                    "port": self._graph.edges[producer, consumer].get("port"),
+                }
+                for producer, consumer in self.edges()
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "DFG":
+        """Rebuild a graph from :meth:`to_dict` output."""
+        dfg = cls(str(payload.get("name", "dfg")))
+        for op_payload in payload["operations"]:  # type: ignore[index]
+            dfg.add_operation(
+                Operation(
+                    name=op_payload["name"],
+                    optype=OpType(op_payload["optype"]),
+                    iteration=int(op_payload.get("iteration", 0)),
+                    array=op_payload.get("array"),
+                    index=op_payload.get("index"),
+                    immediate=op_payload.get("immediate"),
+                    comment=op_payload.get("comment", ""),
+                )
+            )
+        for edge_payload in payload["edges"]:  # type: ignore[index]
+            dfg.add_dependence(
+                edge_payload["producer"],
+                edge_payload["consumer"],
+                port=edge_payload.get("port"),
+            )
+        return dfg
+
+    def __repr__(self) -> str:
+        return (
+            f"DFG(name={self.name!r}, operations={len(self)}, "
+            f"edges={self.number_of_edges()})"
+        )

@@ -1,0 +1,96 @@
+"""Dataflow-graph validation.
+
+The mapper and the functional simulator both assume well-formed graphs:
+acyclic, correct operand counts per operation type, memory operations with
+array names, constants with immediates.  :func:`validate_dfg` checks these
+invariants and raises :class:`~repro.errors.DFGValidationError` with a list
+of all problems found.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import DFGValidationError
+from repro.ir.dfg import DFG, OpType
+
+#: Expected number of value operands per operation type.  ``None`` means
+#: "any number" (stores take exactly one value; loads and constants none).
+_EXPECTED_OPERANDS = {
+    OpType.LOAD: 0,
+    OpType.CONST: 0,
+    OpType.STORE: 1,
+    OpType.ABS: 1,
+    OpType.SHIFT: 1,
+    OpType.MOV: 1,
+    OpType.NOP: 0,
+    OpType.MUL: 2,
+    OpType.ADD: 2,
+    OpType.SUB: 2,
+    OpType.AND: 2,
+    OpType.OR: 2,
+    OpType.XOR: 2,
+    OpType.MIN: 2,
+    OpType.MAX: 2,
+}
+
+
+def collect_dfg_problems(dfg: DFG) -> List[str]:
+    """Return a list of human-readable problems found in ``dfg``.
+
+    An empty list means the graph is valid.
+    """
+    problems: List[str] = []
+
+    if not dfg.is_acyclic():
+        problems.append("dependence graph contains a cycle")
+
+    for op in dfg.operations():
+        expected = _EXPECTED_OPERANDS.get(op.optype)
+        # Edges leaving a store are memory-ordering edges (read-after-write),
+        # not value operands, so they do not count towards the operand total.
+        actual = sum(
+            1
+            for pred in dfg.predecessors(op.name)
+            if dfg.operation(pred).optype is not OpType.STORE
+        )
+        if expected is not None and actual != expected:
+            problems.append(
+                f"operation {op.name!r} ({op.optype.value}) expects {expected} "
+                f"operand(s) but has {actual}"
+            )
+        if op.optype.is_memory and not op.array:
+            problems.append(
+                f"memory operation {op.name!r} does not name the accessed array"
+            )
+        if op.optype is OpType.CONST and op.immediate is None:
+            problems.append(f"constant operation {op.name!r} has no immediate value")
+        if op.optype is OpType.SHIFT and op.immediate is None:
+            problems.append(f"shift operation {op.name!r} has no shift amount")
+        if op.optype is OpType.STORE:
+            non_load_consumers = [
+                succ
+                for succ in dfg.successors(op.name)
+                if dfg.operation(succ).optype is not OpType.LOAD
+            ]
+            if non_load_consumers:
+                problems.append(
+                    f"store operation {op.name!r} must not feed value consumers "
+                    f"(stores produce no value; only memory-ordering edges to "
+                    f"loads are allowed)"
+                )
+
+    return problems
+
+
+def validate_dfg(dfg: DFG) -> None:
+    """Raise :class:`DFGValidationError` if ``dfg`` violates any invariant."""
+    problems = collect_dfg_problems(dfg)
+    if problems:
+        summary = "; ".join(problems)
+        raise DFGValidationError(f"invalid DFG {dfg.name!r}: {summary}")
+
+
+def is_valid_dfg(dfg: DFG) -> bool:
+    """True when ``dfg`` passes validation."""
+    return not collect_dfg_problems(dfg)

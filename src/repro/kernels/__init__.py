@@ -1,0 +1,62 @@
+"""Benchmark kernels: Livermore loops, DSP kernels and the matmul example."""
+
+from repro.kernels.livermore import (
+    hydro_fragment,
+    iccg,
+    inner_product,
+    livermore_kernels,
+    state_fragment,
+    tri_diagonal,
+)
+from repro.kernels.dsp import (
+    dsp_kernels,
+    fdct_2d,
+    fft_multiplication_loop,
+    matrix_vector_multiplication,
+    sad_16x16,
+)
+from repro.kernels.matmul import matrix_multiplication, matrix_multiplication_column
+from repro.kernels.h264 import h264_kernels, integer_transform_4x4, quarter_pel_interpolation
+from repro.kernels.registry import (
+    ALL_KERNEL_NAMES,
+    DSP_KERNEL_NAMES,
+    LIVERMORE_KERNEL_NAMES,
+    PAPER_TABLE3,
+    Table3Row,
+    dsp_suite,
+    example_kernels,
+    get_kernel,
+    kernel_names,
+    livermore_suite,
+    paper_suite,
+)
+
+__all__ = [
+    "hydro_fragment",
+    "iccg",
+    "inner_product",
+    "livermore_kernels",
+    "state_fragment",
+    "tri_diagonal",
+    "dsp_kernels",
+    "fdct_2d",
+    "fft_multiplication_loop",
+    "matrix_vector_multiplication",
+    "sad_16x16",
+    "matrix_multiplication",
+    "matrix_multiplication_column",
+    "h264_kernels",
+    "integer_transform_4x4",
+    "quarter_pel_interpolation",
+    "ALL_KERNEL_NAMES",
+    "DSP_KERNEL_NAMES",
+    "LIVERMORE_KERNEL_NAMES",
+    "PAPER_TABLE3",
+    "Table3Row",
+    "dsp_suite",
+    "example_kernels",
+    "get_kernel",
+    "kernel_names",
+    "livermore_suite",
+    "paper_suite",
+]

@@ -1,0 +1,98 @@
+"""H.264 encoder kernels (the paper's stated future work).
+
+The paper closes with "we are currently working on implementing H.264
+encoder on our architecture template".  This module provides two of the
+H.264 baseline-encoder loops so the RSP flow can be exercised on that
+domain as well:
+
+* the **4x4 forward integer transform** used for residual coding — a
+  multiplier-free butterfly (additions, subtractions and shifts only),
+  which, like SAD, benefits purely from the RSP clock-period reduction;
+* the **quarter-pel interpolation** 6-tap FIR filter of the motion
+  compensation path — multiplication heavy, which stresses the shared
+  multipliers like 2D-FDCT does.
+
+Neither kernel appears in the paper's tables; they extend the evaluated
+domain and are used by the ``bench_extension_h264`` benchmark.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.ir.builder import DFGBuilder
+from repro.ir.loops import Kernel
+
+
+def integer_transform_4x4(iterations: int = 8) -> Kernel:
+    """H.264 4x4 forward integer transform (rows then columns of one block).
+
+    Iterations 0–3 transform the rows of the 4x4 residual block, iterations
+    4–7 the columns of the intermediate result.  The butterfly uses only
+    additions, subtractions and shifts (the factor-2 multiplications of the
+    transform matrix are strength-reduced to shifts), so the kernel contains
+    no array-multiplier operations at all.
+    """
+
+    def transform_line(builder: DFGBuilder, source: str, destination: str,
+                       base: int, stride: int) -> None:
+        samples = [builder.load(source, base + position * stride) for position in range(4)]
+        sum03 = builder.add(samples[0], samples[3])
+        sum12 = builder.add(samples[1], samples[2])
+        diff03 = builder.sub(samples[0], samples[3])
+        diff12 = builder.sub(samples[1], samples[2])
+        out0 = builder.add(sum03, sum12)
+        out2 = builder.sub(sum03, sum12)
+        out1 = builder.add(builder.shift(diff03, 1), diff12)
+        out3 = builder.sub(diff03, builder.shift(diff12, 1))
+        for position, value in enumerate((out0, out1, out2, out3)):
+            builder.store(destination, base + position * stride, value)
+
+    def body(builder: DFGBuilder, iteration: int, state: Dict[str, str]) -> None:
+        if iteration < 4:
+            transform_line(builder, "residual", "horiz", base=iteration * 4, stride=1)
+        else:
+            column = iteration - 4
+            transform_line(builder, "horiz", "coeff", base=column, stride=4)
+
+    return Kernel(
+        name="H264-IT4x4",
+        body=body,
+        iterations=iterations,
+        description="H.264 4x4 forward integer transform (multiplier-free butterfly)",
+        source="h264",
+    )
+
+
+def quarter_pel_interpolation(iterations: int = 16, taps: int = 6) -> Kernel:
+    """H.264 six-tap half-pel interpolation filter (one output pixel per iteration).
+
+    ``out[n] = sum_k w[k] * pel[n + k]`` with the (1, -5, 20, 20, -5, 1)
+    weights held as constants in the configuration cache; the rounding shift
+    is applied before the store.  One multiplication per tap makes this the
+    multiplication-heavy member of the H.264 pair.
+    """
+
+    def body(builder: DFGBuilder, n: int, state: Dict[str, str]) -> None:
+        if "w0" not in state:
+            for index, weight in enumerate((1, -5, 20, 20, -5, 1)[:taps]):
+                state[f"w{index}"] = builder.const(weight, comment=f"tap weight {index}")
+        products: List[str] = []
+        for tap in range(taps):
+            pixel = builder.load("pel", n + tap)
+            products.append(builder.mul(state[f"w{tap}"], pixel))
+        total = builder.sum_tree(products)
+        builder.store("half", n, builder.shift(total, -5, comment="rounding shift"))
+
+    return Kernel(
+        name="H264-QPEL",
+        body=body,
+        iterations=iterations,
+        description="H.264 six-tap half-pel interpolation filter",
+        source="h264",
+    )
+
+
+def h264_kernels() -> List[Kernel]:
+    """The H.264 extension kernels (future-work domain)."""
+    return [integer_transform_4x4(), quarter_pel_interpolation()]

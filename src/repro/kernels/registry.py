@@ -1,0 +1,119 @@
+"""Kernel registry and the paper's Table 3 reference data.
+
+The registry maps kernel names (as printed in the paper's tables) to
+factories so benchmarks, examples and tests all obtain identical kernel
+instances.  :data:`PAPER_TABLE3` records the published operation sets and
+maximum multiplications-per-cycle for comparison in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.errors import UnknownKernelError
+from repro.ir.loops import Kernel
+from repro.kernels.dsp import (
+    fdct_2d,
+    fft_multiplication_loop,
+    matrix_vector_multiplication,
+    sad_16x16,
+)
+from repro.kernels.livermore import (
+    hydro_fragment,
+    iccg,
+    inner_product,
+    state_fragment,
+    tri_diagonal,
+)
+from repro.kernels.matmul import matrix_multiplication, matrix_multiplication_column
+
+#: Factories for every kernel evaluated in the paper, keyed by table name.
+_KERNEL_FACTORIES: Dict[str, Callable[[], Kernel]] = {
+    "Hydro": hydro_fragment,
+    "ICCG": iccg,
+    "Tri-diagonal": tri_diagonal,
+    "Inner product": inner_product,
+    "State": state_fragment,
+    "2D-FDCT": fdct_2d,
+    "SAD": sad_16x16,
+    "MVM": matrix_vector_multiplication,
+    "FFT": fft_multiplication_loop,
+}
+
+#: Names of the Livermore kernels (paper Table 4) in table order.
+LIVERMORE_KERNEL_NAMES: Tuple[str, ...] = (
+    "Hydro",
+    "ICCG",
+    "Tri-diagonal",
+    "Inner product",
+    "State",
+)
+
+#: Names of the DSP kernels (paper Table 5) in table order.
+DSP_KERNEL_NAMES: Tuple[str, ...] = ("2D-FDCT", "SAD", "MVM", "FFT")
+
+#: All nine evaluated kernels in the order of paper Table 3.
+ALL_KERNEL_NAMES: Tuple[str, ...] = LIVERMORE_KERNEL_NAMES + DSP_KERNEL_NAMES
+
+
+@dataclass(frozen=True)
+class Table3Row:
+    """One row of paper Table 3: kernel, operation set, max multiplications."""
+
+    kernel: str
+    operation_set: Tuple[str, ...]
+    max_multiplications: int
+
+
+#: Paper Table 3 reference data (operation set and the maximum number of
+#: multiplications mapped to the array in a single cycle).
+PAPER_TABLE3: Dict[str, Table3Row] = {
+    "Hydro": Table3Row("Hydro", ("mult", "add"), 6),
+    "ICCG": Table3Row("ICCG", ("mult", "sub"), 4),
+    "Tri-diagonal": Table3Row("Tri-diagonal", ("mult", "sub"), 4),
+    "Inner product": Table3Row("Inner product", ("mult", "add"), 8),
+    "State": Table3Row("State", ("mult", "add"), 7),
+    "2D-FDCT": Table3Row("2D-FDCT", ("mult", "shift", "add", "sub"), 16),
+    "SAD": Table3Row("SAD", ("abs", "add"), 0),
+    "MVM": Table3Row("MVM", ("mult", "add"), 8),
+    "FFT": Table3Row("FFT", ("add", "sub", "mult"), 8),
+}
+
+
+def kernel_names() -> List[str]:
+    """Names of all registered kernels in paper-table order."""
+    return list(ALL_KERNEL_NAMES)
+
+
+def get_kernel(name: str) -> Kernel:
+    """Instantiate the registered kernel called ``name``.
+
+    Raises :class:`~repro.errors.UnknownKernelError` for unknown names.
+    """
+    try:
+        factory = _KERNEL_FACTORIES[name]
+    except KeyError as exc:
+        known = ", ".join(sorted(_KERNEL_FACTORIES))
+        raise UnknownKernelError(f"unknown kernel {name!r}; known kernels: {known}") from exc
+    return factory()
+
+
+def livermore_suite() -> List[Kernel]:
+    """The Livermore kernels of paper Table 4."""
+    return [get_kernel(name) for name in LIVERMORE_KERNEL_NAMES]
+
+
+def dsp_suite() -> List[Kernel]:
+    """The DSP kernels of paper Table 5."""
+    return [get_kernel(name) for name in DSP_KERNEL_NAMES]
+
+
+def paper_suite() -> List[Kernel]:
+    """All nine kernels evaluated by the paper, in Table 3 order."""
+    return [get_kernel(name) for name in ALL_KERNEL_NAMES]
+
+
+def example_kernels() -> List[Kernel]:
+    """Additional kernels used by examples and figures (not in the tables)."""
+    return [matrix_multiplication(order=4), matrix_multiplication_column(order=4)]

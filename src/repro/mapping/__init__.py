@@ -1,0 +1,32 @@
+"""Loop-pipelining mapper, RS/RP rearrangement and context generation."""
+
+from repro.mapping.schedule import Schedule, ScheduledOperation
+from repro.mapping.placement import ResourceTracker, column_preference
+from repro.mapping.loop_pipelining import LoopPipeliningScheduler
+from repro.mapping.rearrange import (
+    RearrangementResult,
+    evaluate_rearrangement,
+    rearrange_schedule,
+    remap_schedule,
+)
+from repro.mapping.context_gen import context_statistics, generate_context
+from repro.mapping.profile import extract_profile, extract_profiles
+from repro.mapping.mapper import MappingResult, RSPMapper
+
+__all__ = [
+    "Schedule",
+    "ScheduledOperation",
+    "ResourceTracker",
+    "column_preference",
+    "LoopPipeliningScheduler",
+    "RearrangementResult",
+    "evaluate_rearrangement",
+    "rearrange_schedule",
+    "remap_schedule",
+    "context_statistics",
+    "generate_context",
+    "extract_profile",
+    "extract_profiles",
+    "MappingResult",
+    "RSPMapper",
+]

@@ -1,0 +1,86 @@
+"""Configuration-context generation from a schedule.
+
+The RSP flow's final artefact is the *RSP configuration context*: for every
+PE and every cycle, the control word that selects the operation, the
+operand sources, the constant and — on sharing architectures — the shared
+multiplier the bus switch must route to (paper Figure 4: "the dynamic
+mapping of a multiplier to a PE is determined in compile time and the
+information is annotated to the configuration instructions").
+
+:func:`generate_context` turns a :class:`~repro.mapping.schedule.Schedule`
+into a :class:`~repro.arch.config_cache.ConfigurationContext`, which the
+functional simulator (:mod:`repro.sim`) can execute.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.arch.config_cache import ConfigurationContext, ConfigurationWord
+from repro.errors import ConfigurationError
+from repro.ir.dfg import DFG, OpType
+from repro.mapping.schedule import Schedule
+
+
+def generate_context(schedule: Schedule, dfg: DFG) -> ConfigurationContext:
+    """Generate the configuration context of ``schedule``.
+
+    Multi-cycle (pipelined) operations occupy only their issue cycle in the
+    context: the subsequent stages run inside the shared multiplier, whose
+    progress needs no further configuration words.
+    """
+    spec = schedule.architecture
+    context = ConfigurationContext(
+        rows=spec.array.rows, cols=spec.array.cols, name=f"{schedule.kernel_name}@{spec.name}"
+    )
+    constants = _constant_values(dfg)
+    for entry in schedule.operations():
+        operation = entry.operation
+        operand_names = tuple(dfg.predecessors(operation.name))
+        immediate = operation.immediate
+        if immediate is None:
+            immediate = _single_constant_operand(operand_names, constants)
+        word = ConfigurationWord(
+            opcode=operation.optype,
+            operation_name=operation.name,
+            operands=tuple(
+                name for name in operand_names if name not in constants
+            ),
+            uses_shared_resource=entry.shared_unit is not None,
+            shared_resource_id=entry.shared_unit,
+            immediate=immediate,
+            array=operation.array,
+            index=operation.index,
+        )
+        context.set_word(entry.cycle, entry.row, entry.col, word)
+    return context
+
+
+def _constant_values(dfg: DFG) -> Dict[str, int]:
+    """Immediate values of all CONST operations in ``dfg``."""
+    constants: Dict[str, int] = {}
+    for operation in dfg.operations_of_type(OpType.CONST):
+        if operation.immediate is None:
+            raise ConfigurationError(f"constant {operation.name!r} has no immediate value")
+        constants[operation.name] = operation.immediate
+    return constants
+
+
+def _single_constant_operand(
+    operand_names: Tuple[str, ...], constants: Dict[str, int]
+) -> Optional[int]:
+    """The immediate to embed when exactly one operand is a constant."""
+    constant_operands = [name for name in operand_names if name in constants]
+    if not constant_operands:
+        return None
+    return constants[constant_operands[0]]
+
+
+def context_statistics(context: ConfigurationContext) -> Dict[str, float]:
+    """Summary statistics of a configuration context (for reports/tests)."""
+    return {
+        "cycles": float(context.num_cycles),
+        "active_words": float(context.active_word_count()),
+        "utilisation": context.utilisation(),
+        "storage_bits": float(context.storage_bits()),
+    }

@@ -1,0 +1,199 @@
+"""Resource tracking used by the scheduler and the RSP rearrangement.
+
+The tracker answers two questions for every candidate (operation, cycle,
+PE) triple:
+
+* is the PE free for the operation's whole latency, does the row still have
+  a free read/write bus slot, and — for multiplications on sharing
+  architectures — is there a reachable shared multiplier with a free issue
+  slot in that cycle?
+* once the answer is yes, record the claims so later decisions see them.
+
+The same tracker is used by the base mapper (:mod:`repro.mapping.loop_pipelining`)
+and by the context rearrangement (:mod:`repro.mapping.rearrange`), which is
+what keeps the two paths consistent.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.arch.array import SharedUnitId
+from repro.arch.template import ArchitectureSpec
+from repro.errors import PlacementError
+from repro.ir.dfg import Operation, OpType
+
+
+class ResourceTracker:
+    """Tracks PE, bus and shared-multiplier usage per cycle.
+
+    Parameters
+    ----------
+    architecture:
+        The design point whose constraints are enforced.
+    unlimited_shared:
+        When True the shared-multiplier issue constraint is lifted (used to
+        compute the stall-free reference length for stall accounting).
+    """
+
+    def __init__(self, architecture: ArchitectureSpec, unlimited_shared: bool = False) -> None:
+        self.architecture = architecture
+        self.unlimited_shared = unlimited_shared
+        self._pe_busy: Dict[Tuple[int, int, int], str] = {}
+        self._loads: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._stores: Dict[Tuple[int, int], int] = defaultdict(int)
+        self._unit_issues: Dict[Tuple[SharedUnitId, int], str] = {}
+        self._row_mults: Dict[Tuple[int, int], int] = defaultdict(int)
+        # Counter used to mint pseudo-unit ordinals in unlimited mode.
+        self._unlimited_counter: Dict[Tuple[int, int], int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # Processing elements
+    # ------------------------------------------------------------------
+    def pe_free(self, cycle: int, row: int, col: int, duration: int) -> bool:
+        """True when PE (row, col) is idle for ``duration`` cycles from ``cycle``."""
+        return all(
+            (offset_cycle, row, col) not in self._pe_busy
+            for offset_cycle in range(cycle, cycle + duration)
+        )
+
+    def claim_pe(self, cycle: int, row: int, col: int, duration: int, name: str) -> None:
+        """Mark PE (row, col) busy for ``duration`` cycles starting at ``cycle``."""
+        for offset_cycle in range(cycle, cycle + duration):
+            key = (offset_cycle, row, col)
+            if key in self._pe_busy:
+                raise PlacementError(
+                    f"PE ({row},{col}) already busy at cycle {offset_cycle} "
+                    f"with {self._pe_busy[key]!r}"
+                )
+            self._pe_busy[key] = name
+
+    # ------------------------------------------------------------------
+    # Row data buses
+    # ------------------------------------------------------------------
+    def bus_free(self, cycle: int, row: int, optype: OpType) -> bool:
+        """True when row ``row`` still has a bus slot for ``optype`` at ``cycle``."""
+        buses = self.architecture.array.row_buses
+        if optype is OpType.LOAD:
+            return self._loads[(cycle, row)] < buses.read_buses
+        if optype is OpType.STORE:
+            return self._stores[(cycle, row)] < buses.write_buses
+        return True
+
+    def claim_bus(self, cycle: int, row: int, optype: OpType) -> None:
+        """Consume one bus slot for ``optype`` on row ``row`` at ``cycle``."""
+        if optype is OpType.LOAD:
+            self._loads[(cycle, row)] += 1
+        elif optype is OpType.STORE:
+            self._stores[(cycle, row)] += 1
+
+    # ------------------------------------------------------------------
+    # Shared multipliers
+    # ------------------------------------------------------------------
+    def reachable_units(self, row: int, col: int) -> List[SharedUnitId]:
+        """Shared-unit identifiers reachable from PE (row, col)."""
+        sharing = self.architecture.sharing
+        units: List[SharedUnitId] = [
+            ("row", row, ordinal) for ordinal in range(sharing.rows_shared)
+        ]
+        units.extend(("col", col, ordinal) for ordinal in range(sharing.cols_shared))
+        return units
+
+    def available_shared_unit(self, cycle: int, row: int, col: int) -> Optional[SharedUnitId]:
+        """A reachable shared unit with a free issue slot at ``cycle``, if any.
+
+        Row units are preferred over column units, and lower ordinals over
+        higher ones, so the assignment is deterministic.
+        """
+        if self.unlimited_shared:
+            ordinal = self._unlimited_counter[(cycle, row)]
+            self._unlimited_counter[(cycle, row)] += 1
+            return ("row", row, ordinal)
+        for unit in self.reachable_units(row, col):
+            if (unit, cycle) not in self._unit_issues:
+                return unit
+        return None
+
+    def claim_shared_unit(self, unit: SharedUnitId, cycle: int, name: str) -> None:
+        """Record that ``unit`` accepts the multiplication ``name`` at ``cycle``."""
+        if self.unlimited_shared:
+            return
+        key = (unit, cycle)
+        if key in self._unit_issues:
+            raise PlacementError(
+                f"shared unit {unit} already issues {self._unit_issues[key]!r} at cycle {cycle}"
+            )
+        self._unit_issues[key] = name
+
+    # ------------------------------------------------------------------
+    # Combined feasibility check
+    # ------------------------------------------------------------------
+    def placement_feasible(
+        self,
+        operation: Operation,
+        cycle: int,
+        row: int,
+        col: int,
+        duration: int,
+    ) -> Tuple[bool, Optional[SharedUnitId]]:
+        """Check whether ``operation`` can issue at (cycle, row, col).
+
+        Returns ``(feasible, shared_unit)`` where ``shared_unit`` is the
+        unit to bind a multiplication to (``None`` for non-multiplications
+        or architectures without sharing).
+        """
+        if not self.pe_free(cycle, row, col, duration):
+            return False, None
+        if operation.is_memory and not self.bus_free(cycle, row, operation.optype):
+            return False, None
+        if operation.is_multiplication and self.architecture.uses_sharing:
+            unit = self.available_shared_unit(cycle, row, col)
+            if unit is None:
+                return False, None
+            return True, unit
+        return True, None
+
+    def claim(
+        self,
+        operation: Operation,
+        cycle: int,
+        row: int,
+        col: int,
+        duration: int,
+        shared_unit: Optional[SharedUnitId],
+    ) -> None:
+        """Record all resource claims of a placed operation."""
+        self.claim_pe(cycle, row, col, duration, operation.name)
+        if operation.is_memory:
+            self.claim_bus(cycle, row, operation.optype)
+        if operation.is_multiplication:
+            self._row_mults[(cycle, row)] += 1
+            if shared_unit is not None:
+                self.claim_shared_unit(shared_unit, cycle, operation.name)
+
+    def multiplications_in_row(self, cycle: int, row: int) -> int:
+        """Multiplications already issued by the PEs of ``row`` at ``cycle``.
+
+        The base mapper uses this to spread concurrent multiplications over
+        the rows of the array, which keeps the per-row demand on row-shared
+        multipliers balanced (the situation the RS designs are built for).
+        """
+        return self._row_mults[(cycle, row)]
+
+
+def column_preference(iteration: int, cols: int) -> List[int]:
+    """Column visit order for an operation of the given loop iteration.
+
+    The preferred column is ``iteration mod cols`` (this produces the
+    staggered column pattern of paper Figure 2); the remaining columns are
+    visited by increasing ring distance so spill placements stay close.
+    """
+    if cols <= 0:
+        raise PlacementError("column count must be positive")
+    preferred = iteration % cols
+    order = [preferred]
+    for distance in range(1, cols):
+        order.append((preferred + distance) % cols)
+    return order

@@ -1,0 +1,57 @@
+"""Extraction of :class:`~repro.core.stalls.ScheduleProfile` objects.
+
+The design-space exploration estimates stalls on a lightweight summary of
+the base-architecture schedule rather than on the schedule itself (so the
+exploration core stays independent of the mapper).  This module builds that
+summary: one record per multiplication issue, annotated with whether its
+result is consumed in the very next cycle of the base schedule (the
+condition under which pipelining the multiplier forces an RP stall).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.stalls import CriticalOpIssue, ScheduleProfile
+from repro.ir.dfg import DFG, OpType
+from repro.mapping.schedule import Schedule
+
+
+def extract_profile(schedule: Schedule, dfg: DFG) -> ScheduleProfile:
+    """Summarise a base-architecture ``schedule`` for stall estimation."""
+    issues: List[CriticalOpIssue] = []
+    for entry in schedule.operations():
+        if not entry.is_multiplication:
+            continue
+        has_immediate_dependent = False
+        for successor in dfg.successors(entry.name):
+            successor_op = dfg.operation(successor)
+            if successor_op.optype in (OpType.CONST, OpType.NOP):
+                continue
+            if successor in schedule and schedule.get(successor).cycle == entry.finish_cycle:
+                has_immediate_dependent = True
+                break
+        issues.append(
+            CriticalOpIssue(
+                cycle=entry.cycle,
+                row=entry.row,
+                col=entry.col,
+                iteration=entry.operation.iteration,
+                has_immediate_dependent=has_immediate_dependent,
+            )
+        )
+    return ScheduleProfile(
+        kernel=schedule.kernel_name,
+        length=schedule.length,
+        critical_issues=tuple(issues),
+        rows=schedule.architecture.array.rows,
+        cols=schedule.architecture.array.cols,
+    )
+
+
+def extract_profiles(schedules: Dict[str, Schedule], dfgs: Dict[str, DFG]) -> Dict[str, ScheduleProfile]:
+    """Profile a set of base schedules keyed by kernel name."""
+    profiles: Dict[str, ScheduleProfile] = {}
+    for kernel_name, schedule in schedules.items():
+        profiles[kernel_name] = extract_profile(schedule, dfgs[kernel_name])
+    return profiles

@@ -1,0 +1,296 @@
+"""Schedule data structure produced by the loop-pipelining mapper.
+
+A :class:`Schedule` assigns every compute/memory operation of a kernel DFG
+an issue cycle, a processing element and (for shared-resource operations) a
+shared unit.  Constants are *not* scheduled — they live in the
+configuration cache and are available from cycle 0 — which mirrors the
+paper's treatment of the constant ``C`` in the matrix-multiplication
+example.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.arch.array import SharedUnitId
+from repro.arch.template import ArchitectureSpec
+from repro.errors import SchedulingError
+from repro.ir.dfg import DFG, Operation, OpType
+
+
+@dataclass(frozen=True)
+class ScheduledOperation:
+    """One operation with its cycle, PE placement and resource binding.
+
+    Attributes
+    ----------
+    operation:
+        The DFG operation being scheduled.
+    cycle:
+        Issue cycle (0-based).
+    row / col:
+        Processing element executing (or issuing) the operation.
+    latency:
+        Cycles until the result is available (1 for primitive operations,
+        the pipeline depth for multiplications on pipelined multipliers).
+    occupancy:
+        Cycles the issuing PE stays busy.  ``None`` means "same as the
+        latency"; multiplications routed to a *shared* multiplier occupy
+        their PE only for the issue cycle — the remaining stages run inside
+        the shared unit while the PE is free to issue other operations.
+    shared_unit:
+        Identifier of the shared resource used, when the operation executes
+        on one.
+    """
+
+    operation: Operation
+    cycle: int
+    row: int
+    col: int
+    latency: int = 1
+    occupancy: Optional[int] = None
+    shared_unit: Optional[SharedUnitId] = None
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise SchedulingError(f"operation {self.operation.name!r} scheduled at negative cycle")
+        if self.latency < 1:
+            raise SchedulingError(f"operation {self.operation.name!r} must have latency >= 1")
+        if self.occupancy is not None and self.occupancy < 1:
+            raise SchedulingError(f"operation {self.operation.name!r} must occupy its PE >= 1 cycle")
+        if self.row < 0 or self.col < 0:
+            raise SchedulingError(f"operation {self.operation.name!r} has no PE placement")
+
+    @property
+    def pe_occupancy(self) -> int:
+        """Cycles the issuing PE is busy (defaults to the result latency)."""
+        return self.occupancy if self.occupancy is not None else self.latency
+
+    @property
+    def name(self) -> str:
+        return self.operation.name
+
+    @property
+    def finish_cycle(self) -> int:
+        """First cycle in which the result can be consumed."""
+        return self.cycle + self.latency
+
+    @property
+    def position(self) -> Tuple[int, int]:
+        return (self.row, self.col)
+
+    @property
+    def is_multiplication(self) -> bool:
+        return self.operation.is_multiplication
+
+    @property
+    def is_memory(self) -> bool:
+        return self.operation.is_memory
+
+
+class Schedule:
+    """A complete mapping of one kernel onto one architecture."""
+
+    def __init__(self, architecture: ArchitectureSpec, kernel_name: str = "kernel") -> None:
+        self.architecture = architecture
+        self.kernel_name = kernel_name
+        self._by_name: Dict[str, ScheduledOperation] = {}
+        self._by_cycle: Dict[int, List[ScheduledOperation]] = defaultdict(list)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, scheduled: ScheduledOperation) -> None:
+        """Add one scheduled operation; operation names must be unique."""
+        if scheduled.name in self._by_name:
+            raise SchedulingError(f"operation {scheduled.name!r} scheduled twice")
+        if not self.architecture.array.contains(scheduled.row, scheduled.col):
+            raise SchedulingError(
+                f"operation {scheduled.name!r} placed outside the "
+                f"{self.architecture.array.rows}x{self.architecture.array.cols} array"
+            )
+        self._by_name[scheduled.name] = scheduled
+        self._by_cycle[scheduled.cycle].append(scheduled)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._by_name)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def get(self, name: str) -> ScheduledOperation:
+        """The scheduled operation with the given DFG name."""
+        try:
+            return self._by_name[name]
+        except KeyError as exc:
+            raise SchedulingError(f"operation {name!r} is not in the schedule") from exc
+
+    def operations(self) -> List[ScheduledOperation]:
+        """All scheduled operations ordered by (cycle, col, row)."""
+        return sorted(
+            self._by_name.values(), key=lambda entry: (entry.cycle, entry.col, entry.row)
+        )
+
+    def operations_at(self, cycle: int) -> List[ScheduledOperation]:
+        """Operations issued at ``cycle``."""
+        return sorted(self._by_cycle.get(cycle, []), key=lambda entry: (entry.col, entry.row))
+
+    @property
+    def length(self) -> int:
+        """Total execution cycles: the latest result-available cycle."""
+        if not self._by_name:
+            return 0
+        return max(entry.finish_cycle for entry in self._by_name.values())
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def multiplications_at(self, cycle: int) -> List[ScheduledOperation]:
+        """Multiplication operations *issued* at ``cycle``."""
+        return [entry for entry in self.operations_at(cycle) if entry.is_multiplication]
+
+    def multiplications_in_flight_at(self, cycle: int) -> List[ScheduledOperation]:
+        """Multiplications occupying a multiplier during ``cycle`` (any stage)."""
+        return [
+            entry
+            for entry in self._by_name.values()
+            if entry.is_multiplication and entry.cycle <= cycle < entry.finish_cycle
+        ]
+
+    def max_multiplications_per_cycle(self) -> int:
+        """Maximum multiplications executing simultaneously in any cycle.
+
+        This is the "Mult No" column of paper Table 3: the maximum number
+        of multiplications mapped to the array in a cycle.
+        """
+        peak = 0
+        for cycle in range(self.length):
+            peak = max(peak, len(self.multiplications_in_flight_at(cycle)))
+        return peak
+
+    def max_multiplication_issues_per_cycle(self) -> int:
+        """Maximum multiplications *issued* in any single cycle."""
+        peak = 0
+        for cycle, entries in self._by_cycle.items():
+            peak = max(peak, sum(1 for entry in entries if entry.is_multiplication))
+        return peak
+
+    def pe_utilisation(self) -> float:
+        """Fraction of PE-cycles that issue an operation."""
+        total = self.length * self.architecture.array.num_pes
+        if total == 0:
+            return 0.0
+        return len(self._by_name) / total
+
+    def busy_pes_at(self, cycle: int) -> List[Tuple[int, int]]:
+        """PE positions occupied during ``cycle`` (issue through release)."""
+        return [
+            entry.position
+            for entry in self._by_name.values()
+            if entry.cycle <= cycle < entry.cycle + entry.pe_occupancy
+        ]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, dfg: DFG) -> None:
+        """Check the schedule against the DFG and architecture constraints.
+
+        Raises :class:`SchedulingError` on the first violation found:
+        missing operations, dependence violations, PE double-booking, bus
+        over-subscription or shared-unit conflicts.
+        """
+        spec = self.architecture
+        for op in dfg.operations():
+            if op.optype in (OpType.CONST, OpType.NOP):
+                continue
+            if op.name not in self._by_name:
+                raise SchedulingError(
+                    f"operation {op.name!r} of kernel {dfg.name!r} is not scheduled"
+                )
+        # Dependences.
+        for producer, consumer in dfg.edges():
+            producer_op = dfg.operation(producer)
+            if producer_op.optype in (OpType.CONST, OpType.NOP):
+                continue
+            consumer_op = dfg.operation(consumer)
+            if consumer_op.optype in (OpType.CONST, OpType.NOP):
+                continue
+            produced = self.get(producer)
+            consumed = self.get(consumer)
+            if consumed.cycle < produced.finish_cycle:
+                raise SchedulingError(
+                    f"dependence violated: {consumer!r} issues at cycle {consumed.cycle} "
+                    f"but {producer!r} finishes at cycle {produced.finish_cycle}"
+                )
+        # PE occupancy (a PE is busy from issue until it releases the slot).
+        occupancy: Dict[Tuple[int, int, int], str] = {}
+        for entry in self._by_name.values():
+            for cycle in range(entry.cycle, entry.cycle + entry.pe_occupancy):
+                key = (cycle, entry.row, entry.col)
+                if key in occupancy:
+                    raise SchedulingError(
+                        f"PE ({entry.row},{entry.col}) double-booked at cycle {cycle}: "
+                        f"{occupancy[key]!r} and {entry.name!r}"
+                    )
+                occupancy[key] = entry.name
+        # Row data buses.
+        loads: Dict[Tuple[int, int], int] = defaultdict(int)
+        stores: Dict[Tuple[int, int], int] = defaultdict(int)
+        for entry in self._by_name.values():
+            if entry.operation.optype is OpType.LOAD:
+                loads[(entry.cycle, entry.row)] += 1
+            elif entry.operation.optype is OpType.STORE:
+                stores[(entry.cycle, entry.row)] += 1
+        for (cycle, row), count in loads.items():
+            if count > spec.array.row_buses.read_buses:
+                raise SchedulingError(
+                    f"row {row} issues {count} loads at cycle {cycle}, but only "
+                    f"{spec.array.row_buses.read_buses} read buses exist"
+                )
+        for (cycle, row), count in stores.items():
+            if count > spec.array.row_buses.write_buses:
+                raise SchedulingError(
+                    f"row {row} issues {count} stores at cycle {cycle}, but only "
+                    f"{spec.array.row_buses.write_buses} write buses exist"
+                )
+        # Shared-resource issue conflicts and reachability.
+        if spec.uses_sharing:
+            unit_issues: Dict[Tuple[SharedUnitId, int], str] = {}
+            for entry in self._by_name.values():
+                if not entry.is_multiplication:
+                    continue
+                if entry.shared_unit is None:
+                    raise SchedulingError(
+                        f"multiplication {entry.name!r} has no shared multiplier on "
+                        f"architecture {spec.name!r}"
+                    )
+                scope, line, _ = entry.shared_unit
+                if scope == "row" and line != entry.row:
+                    raise SchedulingError(
+                        f"multiplication {entry.name!r} on PE row {entry.row} uses a "
+                        f"multiplier of row {line}"
+                    )
+                if scope == "col" and line != entry.col:
+                    raise SchedulingError(
+                        f"multiplication {entry.name!r} on PE column {entry.col} uses a "
+                        f"multiplier of column {line}"
+                    )
+                key = (entry.shared_unit, entry.cycle)
+                if key in unit_issues:
+                    raise SchedulingError(
+                        f"shared multiplier {entry.shared_unit} receives two issues at "
+                        f"cycle {entry.cycle}: {unit_issues[key]!r} and {entry.name!r}"
+                    )
+                unit_issues[key] = entry.name
+
+    def __repr__(self) -> str:
+        return (
+            f"Schedule(kernel={self.kernel_name!r}, architecture={self.architecture.name!r}, "
+            f"operations={len(self)}, cycles={self.length})"
+        )

@@ -1,0 +1,15 @@
+"""Cycle-accurate functional simulator for mapped kernels."""
+
+from repro.sim.functional_units import FunctionalUnitBehaviour
+from repro.sim.memory import DataMemory
+from repro.sim.simulator import ArraySimulator, SimulationResult
+from repro.sim.trace import ExecutionTrace, TraceEvent
+
+__all__ = [
+    "FunctionalUnitBehaviour",
+    "DataMemory",
+    "ArraySimulator",
+    "SimulationResult",
+    "ExecutionTrace",
+    "TraceEvent",
+]

@@ -1,0 +1,126 @@
+"""Functional-unit behaviour for the cycle-accurate simulator.
+
+The paper's PEs operate on 16-bit data (the base architecture extends the
+data bus width to 16 bits); multiplications produce a 2n-bit result that is
+returned to the issuing PE.  :class:`FunctionalUnitBehaviour` implements the
+arithmetic of every supported operation with configurable word width and
+wrap-around, so the functional simulator can execute mapped kernels and the
+numerical results can be checked against NumPy reference computations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import SimulationError
+from repro.ir.dfg import OpType
+
+
+@dataclass(frozen=True)
+class FunctionalUnitBehaviour:
+    """Arithmetic semantics of the PE datapath.
+
+    Attributes
+    ----------
+    width_bits:
+        Operand width.  Results of multiplications are allowed
+        ``2 * width_bits`` before wrapping (the 2n-bit product path of
+        paper Figure 4).
+    wrap:
+        When True results wrap to the signed range of their width (models
+        the fixed-width hardware); when False arbitrary-precision Python
+        integers are kept, which is convenient for checking against exact
+        reference results.
+    """
+
+    width_bits: int = 16
+    wrap: bool = False
+
+    def __post_init__(self) -> None:
+        if self.width_bits <= 0:
+            raise SimulationError("datapath width must be positive")
+
+    # ------------------------------------------------------------------
+    # Wrapping helpers
+    # ------------------------------------------------------------------
+    def _wrap_to(self, value: int, bits: int) -> int:
+        if not self.wrap:
+            return value
+        modulus = 1 << bits
+        value %= modulus
+        if value >= modulus // 2:
+            value -= modulus
+        return value
+
+    def wrap_operand(self, value: int) -> int:
+        """Wrap ``value`` to the operand width."""
+        return self._wrap_to(value, self.width_bits)
+
+    def wrap_product(self, value: int) -> int:
+        """Wrap ``value`` to the double-width product range."""
+        return self._wrap_to(value, 2 * self.width_bits)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        optype: OpType,
+        operands: Sequence[int],
+        immediate: Optional[int] = None,
+    ) -> int:
+        """Execute one operation and return its result.
+
+        ``operands`` are the dynamic operand values in port order;
+        ``immediate`` supplies the constant of shift operations.
+        """
+        if optype is OpType.MUL:
+            self._expect(optype, operands, 2)
+            return self.wrap_product(operands[0] * operands[1])
+        if optype is OpType.ADD:
+            self._expect(optype, operands, 2)
+            return self.wrap_operand(operands[0] + operands[1])
+        if optype is OpType.SUB:
+            self._expect(optype, operands, 2)
+            return self.wrap_operand(operands[0] - operands[1])
+        if optype is OpType.ABS:
+            self._expect(optype, operands, 1)
+            return self.wrap_operand(abs(operands[0]))
+        if optype is OpType.SHIFT:
+            self._expect(optype, operands, 1)
+            if immediate is None:
+                raise SimulationError("shift operation requires an immediate shift amount")
+            if immediate >= 0:
+                return self.wrap_operand(operands[0] << immediate)
+            return self.wrap_operand(operands[0] >> (-immediate))
+        if optype is OpType.AND:
+            self._expect(optype, operands, 2)
+            return self.wrap_operand(operands[0] & operands[1])
+        if optype is OpType.OR:
+            self._expect(optype, operands, 2)
+            return self.wrap_operand(operands[0] | operands[1])
+        if optype is OpType.XOR:
+            self._expect(optype, operands, 2)
+            return self.wrap_operand(operands[0] ^ operands[1])
+        if optype is OpType.MIN:
+            self._expect(optype, operands, 2)
+            return self.wrap_operand(min(operands))
+        if optype is OpType.MAX:
+            self._expect(optype, operands, 2)
+            return self.wrap_operand(max(operands))
+        if optype is OpType.MOV:
+            self._expect(optype, operands, 1)
+            return self.wrap_operand(operands[0])
+        if optype is OpType.CONST:
+            if immediate is None:
+                raise SimulationError("constant operation requires an immediate value")
+            return self.wrap_operand(immediate)
+        raise SimulationError(f"operation type {optype.value!r} is not executable on a functional unit")
+
+    @staticmethod
+    def _expect(optype: OpType, operands: Sequence[int], count: int) -> None:
+        if len(operands) != count:
+            raise SimulationError(
+                f"{optype.value} expects {count} operand(s), got {len(operands)}"
+            )

@@ -1,0 +1,100 @@
+"""Data-memory model for the functional simulator.
+
+The paper's base architecture attaches the array to a data memory through
+per-row read/write buses.  :class:`DataMemory` models that memory as a set
+of named arrays; access counting lets tests verify that the schedule's bus
+usage matches the accesses the simulation actually performs.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+class DataMemory:
+    """Named arrays accessible through the row data buses."""
+
+    def __init__(self, arrays: Optional[Mapping[str, Sequence[int]]] = None,
+                 default_value: int = 0, strict: bool = False) -> None:
+        """Create a memory pre-loaded with ``arrays``.
+
+        Parameters
+        ----------
+        arrays:
+            Initial contents, mapping array names to value sequences.
+        default_value:
+            Value returned for elements that were never written.
+        strict:
+            When True, loading from an array that was never declared raises
+            :class:`SimulationError` instead of returning ``default_value``.
+        """
+        self._storage: Dict[str, Dict[int, int]] = {}
+        self.default_value = default_value
+        self.strict = strict
+        self.load_count = 0
+        self.store_count = 0
+        for name, values in (arrays or {}).items():
+            self.initialise(name, values)
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def initialise(self, array: str, values: Sequence[int]) -> None:
+        """(Re-)initialise ``array`` with ``values`` starting at index 0."""
+        self._storage[array] = {index: int(value) for index, value in enumerate(values)}
+
+    def declare(self, array: str) -> None:
+        """Declare an empty array (useful in strict mode)."""
+        self._storage.setdefault(array, {})
+
+    # ------------------------------------------------------------------
+    # Accesses
+    # ------------------------------------------------------------------
+    def load(self, array: str, index: int) -> int:
+        """Read ``array[index]``."""
+        self.load_count += 1
+        if array not in self._storage:
+            if self.strict:
+                raise SimulationError(f"load from undeclared array {array!r}")
+            return self.default_value
+        return self._storage[array].get(index, self.default_value)
+
+    def store(self, array: str, index: int, value: int) -> None:
+        """Write ``value`` to ``array[index]``."""
+        self.store_count += 1
+        self._storage.setdefault(array, {})[index] = int(value)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def arrays(self) -> List[str]:
+        """Names of all arrays present in the memory."""
+        return sorted(self._storage)
+
+    def as_list(self, array: str, length: Optional[int] = None) -> List[int]:
+        """Contents of ``array`` as a dense list of ``length`` elements."""
+        if array not in self._storage:
+            if self.strict:
+                raise SimulationError(f"unknown array {array!r}")
+            return []
+        contents = self._storage[array]
+        size = length if length is not None else (max(contents) + 1 if contents else 0)
+        return [contents.get(index, self.default_value) for index in range(size)]
+
+    def value(self, array: str, index: int) -> int:
+        """Read ``array[index]`` without counting it as a bus access."""
+        if array not in self._storage:
+            if self.strict:
+                raise SimulationError(f"unknown array {array!r}")
+            return self.default_value
+        return self._storage[array].get(index, self.default_value)
+
+    def copy(self) -> "DataMemory":
+        """Deep copy of the memory (access counters reset)."""
+        clone = DataMemory(default_value=self.default_value, strict=self.strict)
+        for array, contents in self._storage.items():
+            clone._storage[array] = dict(contents)
+        return clone

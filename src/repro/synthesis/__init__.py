@@ -1,0 +1,32 @@
+"""Analytical synthesis surrogate and the paper's published reference data."""
+
+from repro.synthesis.calibration import (
+    PAPER_ARCHITECTURE_ORDER,
+    PAPER_HEADLINE,
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE4,
+    PAPER_TABLE5,
+    PerformanceCell,
+    Table1Row,
+    Table2Row,
+    paper_kernel_names,
+    paper_performance_cell,
+)
+from repro.synthesis.synth_model import SynthesisEstimate, SynthesisSurrogate
+
+__all__ = [
+    "PAPER_ARCHITECTURE_ORDER",
+    "PAPER_HEADLINE",
+    "PAPER_TABLE1",
+    "PAPER_TABLE2",
+    "PAPER_TABLE4",
+    "PAPER_TABLE5",
+    "PerformanceCell",
+    "Table1Row",
+    "Table2Row",
+    "paper_kernel_names",
+    "paper_performance_cell",
+    "SynthesisEstimate",
+    "SynthesisSurrogate",
+]

@@ -1,0 +1,12 @@
+"""Small shared utilities: text tables, serialisation helpers."""
+
+from repro.utils.tabulate import format_table, format_markdown_table
+from repro.utils.serialization import to_json, from_json, dataclass_to_dict
+
+__all__ = [
+    "format_table",
+    "format_markdown_table",
+    "to_json",
+    "from_json",
+    "dataclass_to_dict",
+]

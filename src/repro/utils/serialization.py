@@ -1,0 +1,42 @@
+"""JSON serialisation helpers for dataclass-based results.
+
+Experiment results (tables, schedules, exploration outcomes) are plain
+dataclasses; these helpers turn them into JSON-compatible structures so the
+benchmark harness can archive them next to the printed tables.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+from typing import Any, Union
+
+
+def dataclass_to_dict(value: Any) -> Any:
+    """Recursively convert dataclasses, enums, tuples and paths to JSON types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: dataclass_to_dict(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, enum.Enum):
+        return value.name
+    if isinstance(value, dict):
+        return {str(key): dataclass_to_dict(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [dataclass_to_dict(item) for item in value]
+    if isinstance(value, Path):
+        return str(value)
+    return value
+
+
+def to_json(value: Any, indent: int = 2) -> str:
+    """Serialise ``value`` (possibly containing dataclasses) to a JSON string."""
+    return json.dumps(dataclass_to_dict(value), indent=indent, sort_keys=False)
+
+
+def from_json(text: Union[str, bytes]) -> Any:
+    """Parse a JSON document produced by :func:`to_json`."""
+    return json.loads(text)

@@ -1,0 +1,90 @@
+"""Plain-text and markdown table formatting.
+
+The evaluation harness prints the reproduced paper tables to the terminal;
+this module provides the small formatting helpers used for that purpose so
+the rest of the code never has to deal with column widths.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _stringify(value: object, float_format: str) -> str:
+    """Render a single cell as text."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def _column_widths(rows: Sequence[Sequence[str]]) -> List[int]:
+    """Compute the width of each column over all rows."""
+    if not rows:
+        return []
+    widths = [0] * max(len(row) for row in rows)
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    return widths
+
+
+def format_table(
+    rows: Iterable[Sequence[object]],
+    headers: Optional[Sequence[object]] = None,
+    float_format: str = ".2f",
+    title: Optional[str] = None,
+) -> str:
+    """Format ``rows`` as an aligned plain-text table.
+
+    Parameters
+    ----------
+    rows:
+        Iterable of row sequences.  Cells may be any object; floats are
+        formatted with ``float_format`` and ``None`` renders as ``-``.
+    headers:
+        Optional header row.
+    float_format:
+        ``format()`` spec applied to float cells.
+    title:
+        Optional title printed above the table.
+    """
+    text_rows = [[_stringify(cell, float_format) for cell in row] for row in rows]
+    header_row = None
+    if headers is not None:
+        header_row = [_stringify(cell, float_format) for cell in headers]
+    all_rows = ([header_row] if header_row else []) + text_rows
+    widths = _column_widths(all_rows)
+
+    def render(row: Sequence[str]) -> str:
+        cells = [cell.ljust(widths[index]) for index, cell in enumerate(row)]
+        return "  ".join(cells).rstrip()
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    if header_row:
+        lines.append(render(header_row))
+        lines.append("  ".join("-" * width for width in widths))
+    lines.extend(render(row) for row in text_rows)
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    rows: Iterable[Sequence[object]],
+    headers: Sequence[object],
+    float_format: str = ".2f",
+) -> str:
+    """Format ``rows`` as a GitHub-flavoured markdown table."""
+    header_cells = [_stringify(cell, float_format) for cell in headers]
+    lines = [
+        "| " + " | ".join(header_cells) + " |",
+        "|" + "|".join(" --- " for _ in header_cells) + "|",
+    ]
+    for row in rows:
+        cells = [_stringify(cell, float_format) for cell in row]
+        lines.append("| " + " | ".join(cells) + " |")
+    return "\n".join(lines)

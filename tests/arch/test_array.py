@@ -1,0 +1,107 @@
+"""Tests for the array structural model and shared-unit reachability."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.array import ArraySpec, ReconfigurableArray, SharedResourceUnit
+from repro.arch.bus import RowBusSpec
+from repro.arch.pe import PEConfig
+from repro.errors import ArchitectureError
+
+
+class TestArraySpec:
+    def test_defaults_match_paper_base(self):
+        spec = ArraySpec()
+        assert spec.rows == 8
+        assert spec.cols == 8
+        assert spec.num_pes == 64
+        assert spec.loads_per_cycle == 16
+        assert spec.stores_per_cycle == 8
+        assert spec.data_width_bits == 16
+
+    def test_positions_row_major(self):
+        spec = ArraySpec(rows=2, cols=3)
+        assert spec.positions() == [(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+
+    def test_contains(self):
+        spec = ArraySpec(rows=2, cols=2)
+        assert spec.contains(1, 1)
+        assert not spec.contains(2, 0)
+        assert not spec.contains(0, -1)
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ArchitectureError):
+            ArraySpec(rows=0, cols=4)
+
+
+class TestSharedResourceUnit:
+    def test_properties(self):
+        unit = SharedResourceUnit(("row", 3, 1), pipeline_stages=2)
+        assert unit.scope == "row"
+        assert unit.line_index == 3
+        assert unit.is_pipelined
+        assert "row 3" in unit.name
+
+    def test_invalid_scope(self):
+        with pytest.raises(ArchitectureError):
+            SharedResourceUnit(("diag", 0, 0))
+
+    def test_invalid_stage_count(self):
+        with pytest.raises(ArchitectureError):
+            SharedResourceUnit(("row", 0, 0), pipeline_stages=0)
+
+
+class TestReconfigurableArray:
+    def make_array(self, rows_shared=1, cols_shared=1):
+        spec = ArraySpec(rows=4, cols=4, row_buses=RowBusSpec())
+        units = [SharedResourceUnit(("row", row, 0)) for row in range(4)]
+        if cols_shared:
+            units += [SharedResourceUnit(("col", col, 0)) for col in range(4)]
+        return ReconfigurableArray(spec, PEConfig(has_multiplier=False), units)
+
+    def test_pe_lookup(self):
+        array = self.make_array()
+        assert array.pe_at(1, 2).position == (1, 2)
+        with pytest.raises(ArchitectureError):
+            array.pe_at(9, 0)
+        assert len(array.processing_elements()) == 16
+
+    def test_reachability_row_and_column(self):
+        array = self.make_array()
+        reachable = array.reachable_shared_units(2, 3)
+        scopes = {(unit.scope, unit.line_index) for unit in reachable}
+        assert scopes == {("row", 2), ("col", 3)}
+
+    def test_reachability_out_of_range(self):
+        with pytest.raises(ArchitectureError):
+            self.make_array().reachable_shared_units(10, 0)
+
+    def test_bus_switch_ports(self):
+        array = self.make_array()
+        switch = array.bus_switch_spec()
+        assert switch is not None
+        assert switch.ports == 2
+
+    def test_no_sharing_has_no_switch(self):
+        spec = ArraySpec(rows=2, cols=2)
+        array = ReconfigurableArray(spec)
+        assert array.bus_switch_spec() is None
+        assert not array.has_shared_resources
+        assert array.multiplier_issue_slots_per_cycle == 4
+
+    def test_issue_slots_with_sharing(self):
+        array = self.make_array()
+        assert array.multiplier_issue_slots_per_cycle == 8
+
+    def test_duplicate_unit_rejected(self):
+        spec = ArraySpec(rows=2, cols=2)
+        units = [SharedResourceUnit(("row", 0, 0)), SharedResourceUnit(("row", 0, 0))]
+        with pytest.raises(ArchitectureError):
+            ReconfigurableArray(spec, PEConfig(has_multiplier=False), units)
+
+    def test_unit_attached_to_missing_row_rejected(self):
+        spec = ArraySpec(rows=2, cols=2)
+        units = [SharedResourceUnit(("row", 5, 0))]
+        with pytest.raises(ArchitectureError):
+            ReconfigurableArray(spec, PEConfig(has_multiplier=False), units)

@@ -1,0 +1,77 @@
+"""Tests for the row-bus, bus-switch and processing-element models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.bus import BusSwitchSpec, RowBusSpec
+from repro.arch.pe import PEConfig, ProcessingElement
+from repro.errors import ArchitectureError
+from repro.ir import OpType
+
+
+class TestRowBusSpec:
+    def test_defaults_match_paper(self):
+        buses = RowBusSpec()
+        assert buses.read_buses == 2
+        assert buses.write_buses == 1
+        assert buses.width_bits == 16
+        assert buses.total_buses == 3
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ArchitectureError):
+            RowBusSpec(read_buses=-1)
+        with pytest.raises(ArchitectureError):
+            RowBusSpec(write_buses=-1)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ArchitectureError):
+            RowBusSpec(width_bits=0)
+
+
+class TestBusSwitchSpec:
+    def test_result_is_double_width(self):
+        switch = BusSwitchSpec(ports=2, operand_width_bits=16)
+        assert switch.result_width_bits == 32
+
+    def test_negative_ports_rejected(self):
+        with pytest.raises(ArchitectureError):
+            BusSwitchSpec(ports=-1)
+
+
+class TestPEConfig:
+    def test_base_pe_has_all_units(self):
+        config = PEConfig()
+        assert config.local_unit_names() == [
+            "multiplexer",
+            "alu",
+            "array_multiplier",
+            "shift_logic",
+        ]
+
+    def test_shared_pe_drops_multiplier(self):
+        config = PEConfig(has_multiplier=False, has_pipeline_registers=True)
+        names = config.local_unit_names()
+        assert "array_multiplier" not in names
+        assert "pipeline_register" in names
+
+    def test_supports_locally(self):
+        base = PEConfig()
+        shared = PEConfig(has_multiplier=False)
+        assert base.supports_locally(OpType.MUL)
+        assert not shared.supports_locally(OpType.MUL)
+        assert shared.supports_locally(OpType.ADD)
+        assert shared.supports_locally(OpType.SHIFT)
+        assert shared.supports_locally(OpType.LOAD)
+        assert not shared.supports_locally(OpType.CONST) or shared.supports_locally(OpType.CONST)
+
+
+class TestProcessingElement:
+    def test_position_and_name(self):
+        pe = ProcessingElement(row=2, col=5)
+        assert pe.position == (2, 5)
+        assert pe.name == "PE[2][5]"
+
+    def test_negative_coordinates_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ProcessingElement(row=-1, col=0)

@@ -1,0 +1,89 @@
+"""Tests for the pre-synthesised component library."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.components import (
+    Component,
+    ComponentKind,
+    ComponentLibrary,
+    default_component_library,
+)
+from repro.errors import ComponentError
+
+
+def test_default_library_matches_paper_table1(library):
+    assert library.multiplexer.area_slices == 58
+    assert library.multiplexer.delay_ns == pytest.approx(1.3)
+    assert library.alu.area_slices == 253
+    assert library.alu.delay_ns == pytest.approx(11.5)
+    assert library.multiplier.area_slices == 416
+    assert library.multiplier.delay_ns == pytest.approx(19.7)
+    assert library.shifter.area_slices == 156
+    assert library.shifter.delay_ns == pytest.approx(2.5)
+
+
+def test_component_rejects_negative_values():
+    with pytest.raises(ComponentError):
+        Component("bad", ComponentKind.ALU, area_slices=-1, delay_ns=1)
+    with pytest.raises(ComponentError):
+        Component("bad", ComponentKind.ALU, area_slices=1, delay_ns=-1)
+
+
+def test_duplicate_component_rejected():
+    library = ComponentLibrary()
+    library.add(Component("a", ComponentKind.ALU, 1, 1))
+    with pytest.raises(ComponentError):
+        library.add(Component("a", ComponentKind.ALU, 2, 2))
+
+
+def test_unknown_component_lookup():
+    with pytest.raises(ComponentError):
+        ComponentLibrary().get("ghost")
+
+
+def test_of_kind_filters(library):
+    multipliers = library.of_kind(ComponentKind.MULTIPLIER)
+    assert [component.name for component in multipliers] == ["array_multiplier"]
+
+
+def test_bus_switch_calibrated_variants(library):
+    assert library.bus_switch(1).area_slices == 10
+    assert library.bus_switch(1).delay_ns == pytest.approx(0.7)
+    assert library.bus_switch(2).area_slices == 34
+    assert library.bus_switch(3).area_slices == 55
+    assert library.bus_switch(4).area_slices == 68
+    assert library.bus_switch(4).delay_ns == pytest.approx(2.0)
+
+
+def test_bus_switch_extrapolates_beyond_calibration(library):
+    five_port = library.bus_switch(5)
+    assert five_port.area_slices > library.bus_switch(4).area_slices
+    assert five_port.delay_ns >= library.bus_switch(4).delay_ns
+    six_port = library.bus_switch(6)
+    assert six_port.area_slices > five_port.area_slices
+
+
+def test_bus_switch_requires_positive_ports(library):
+    with pytest.raises(ComponentError):
+        library.bus_switch(0)
+
+
+def test_bus_switch_extrapolation_requires_calibration_points():
+    library = ComponentLibrary()
+    with pytest.raises(ComponentError):
+        library.bus_switch(5)
+
+
+def test_library_len_and_contains(library):
+    assert "alu" in library
+    assert "ghost" not in library
+    assert len(library) >= 10
+
+
+def test_fresh_default_library_is_independent():
+    first = default_component_library()
+    second = default_component_library()
+    assert first is not second
+    assert first.alu.area_slices == second.alu.area_slices

@@ -1,0 +1,103 @@
+"""Tests for configuration words, contexts and the per-PE cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.config_cache import (
+    ConfigurationCacheSpec,
+    ConfigurationContext,
+    ConfigurationWord,
+    IDLE_WORD,
+)
+from repro.errors import ConfigurationError
+from repro.ir import OpType
+
+
+def make_word(opcode=OpType.ADD, **kwargs) -> ConfigurationWord:
+    return ConfigurationWord(opcode=opcode, operation_name="op", **kwargs)
+
+
+class TestConfigurationWord:
+    def test_idle_word(self):
+        assert IDLE_WORD.is_idle
+        assert not make_word().is_idle
+
+    def test_shared_resource_requires_id(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationWord(opcode=OpType.MUL, uses_shared_resource=True)
+
+    def test_shared_resource_with_id(self):
+        word = ConfigurationWord(
+            opcode=OpType.MUL,
+            uses_shared_resource=True,
+            shared_resource_id=("row", 1, 0),
+        )
+        assert word.shared_resource_id == ("row", 1, 0)
+
+
+class TestConfigurationContext:
+    def test_dimensions_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationContext(rows=0, cols=4)
+
+    def test_set_and_get_word(self):
+        context = ConfigurationContext(rows=2, cols=2)
+        context.set_word(3, 1, 1, make_word())
+        assert context.num_cycles == 4
+        assert not context.word(3, 1, 1).is_idle
+        assert context.word(0, 0, 0).is_idle
+
+    def test_out_of_range_position_rejected(self):
+        context = ConfigurationContext(rows=2, cols=2)
+        with pytest.raises(ConfigurationError):
+            context.set_word(0, 2, 0, make_word())
+        with pytest.raises(ConfigurationError):
+            context.word(0, 0, 5)
+
+    def test_negative_cycle_rejected(self):
+        context = ConfigurationContext(rows=2, cols=2)
+        with pytest.raises(ConfigurationError):
+            context.set_word(-1, 0, 0, make_word())
+
+    def test_double_booking_rejected(self):
+        context = ConfigurationContext(rows=2, cols=2)
+        context.set_word(0, 0, 0, make_word())
+        with pytest.raises(ConfigurationError):
+            context.set_word(0, 0, 0, make_word(opcode=OpType.SUB))
+
+    def test_words_at_and_active_iteration(self):
+        context = ConfigurationContext(rows=2, cols=2)
+        context.set_word(0, 0, 0, make_word())
+        context.set_word(0, 1, 1, make_word(opcode=OpType.MUL))
+        context.set_word(2, 0, 1, make_word(opcode=OpType.LOAD))
+        assert len(context.words_at(0)) == 2
+        assert len(context.words_at(1)) == 0
+        active = list(context.active_words())
+        assert len(active) == 3
+        assert context.active_word_count() == 3
+
+    def test_utilisation_and_storage(self):
+        context = ConfigurationContext(rows=2, cols=2)
+        context.set_word(0, 0, 0, make_word())
+        # one active word out of 4 PEs x 1 cycle
+        assert context.utilisation() == pytest.approx(0.25)
+        assert context.storage_bits(bits_per_word=32) == 1 * 4 * 32
+
+    def test_empty_context_utilisation_zero(self):
+        assert ConfigurationContext(rows=2, cols=2).utilisation() == 0.0
+
+
+class TestConfigurationCacheSpec:
+    def test_size_and_fit(self):
+        cache = ConfigurationCacheSpec(depth=8, word_bits=32)
+        assert cache.size_bits == 256
+        context = ConfigurationContext(rows=1, cols=1)
+        context.set_word(7, 0, 0, make_word())
+        assert cache.fits(context)
+        context.set_word(8, 0, 0, make_word())
+        assert not cache.fits(context)
+
+    def test_positive_dimensions_required(self):
+        with pytest.raises(ConfigurationError):
+            ConfigurationCacheSpec(depth=0)

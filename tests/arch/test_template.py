@@ -1,0 +1,130 @@
+"""Tests for the architecture template and the paper's design points."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.template import (
+    ArchitectureSpec,
+    PipeliningSpec,
+    SharingTopology,
+    architecture_by_name,
+    base_architecture,
+    paper_architectures,
+    rs_architecture,
+    rsp_architecture,
+)
+from repro.errors import ArchitectureError
+
+
+class TestSharingTopology:
+    def test_totals_for_paper_designs(self):
+        # Design #1: one multiplier per row -> 8 on an 8x8 array.
+        assert SharingTopology(1, 0).total_shared_units(8, 8) == 8
+        assert SharingTopology(2, 0).total_shared_units(8, 8) == 16
+        assert SharingTopology(2, 1).total_shared_units(8, 8) == 24
+        assert SharingTopology(2, 2).total_shared_units(8, 8) == 32
+
+    def test_ports_per_pe(self):
+        assert SharingTopology(1, 0).ports_per_pe() == 1
+        assert SharingTopology(2, 2).ports_per_pe() == 4
+
+    def test_units_materialisation(self):
+        units = SharingTopology(1, 1).units_for(rows=2, cols=3, pipeline_stages=2)
+        assert len(units) == 2 + 3
+        assert all(unit.pipeline_stages == 2 for unit in units)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ArchitectureError):
+            SharingTopology(-1, 0)
+
+
+class TestPipeliningSpec:
+    def test_stage_properties(self):
+        assert not PipeliningSpec(1).is_pipelined
+        assert PipeliningSpec(2).is_pipelined
+        assert PipeliningSpec(3).registers_inserted == 2
+
+    def test_zero_stages_rejected(self):
+        with pytest.raises(ArchitectureError):
+            PipeliningSpec(0)
+
+
+class TestArchitectureSpec:
+    def test_base_classification(self, base_arch):
+        assert base_arch.is_base
+        assert base_arch.kind == "base"
+        assert not base_arch.uses_sharing
+        assert not base_arch.uses_pipelining
+        assert base_arch.multiplier_latency == 1
+        assert base_arch.total_shared_units == 0
+        assert base_arch.switch_ports_per_pe == 0
+
+    def test_rs_classification(self, rs2_arch):
+        assert rs2_arch.kind == "rs"
+        assert rs2_arch.uses_sharing
+        assert not rs2_arch.uses_pipelining
+        assert rs2_arch.total_shared_units == 16
+        assert rs2_arch.multiplier_latency == 1
+
+    def test_rsp_classification(self, rsp2_arch):
+        assert rsp2_arch.kind == "rsp"
+        assert rsp2_arch.uses_sharing
+        assert rsp2_arch.uses_pipelining
+        assert rsp2_arch.multiplier_latency == 2
+
+    def test_pe_config_reflects_sharing_and_pipelining(self, base_arch, rs2_arch, rsp2_arch):
+        assert base_arch.pe_config().has_multiplier
+        assert not rs2_arch.pe_config().has_multiplier
+        assert rsp2_arch.pe_config().has_pipeline_registers
+
+    def test_build_array_unit_counts(self):
+        array = rsp_architecture(3).build_array()
+        assert array.num_shared_units == 24
+        assert all(unit.is_pipelined for unit in array.shared_units)
+        assert array.bus_switch_spec().ports == 3
+
+    def test_with_name(self, base_arch):
+        renamed = base_arch.with_name("Baseline")
+        assert renamed.name == "Baseline"
+        assert renamed.array == base_arch.array
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ArchitectureError):
+            ArchitectureSpec(name="")
+
+
+class TestPaperPresets:
+    def test_nine_architectures_in_order(self, all_paper_archs):
+        names = [spec.name for spec in all_paper_archs]
+        assert names == [
+            "Base",
+            "RS#1", "RS#2", "RS#3", "RS#4",
+            "RSP#1", "RSP#2", "RSP#3", "RSP#4",
+        ]
+
+    def test_rs_designs_match_figure8(self):
+        assert rs_architecture(1).sharing == SharingTopology(1, 0)
+        assert rs_architecture(2).sharing == SharingTopology(2, 0)
+        assert rs_architecture(3).sharing == SharingTopology(2, 1)
+        assert rs_architecture(4).sharing == SharingTopology(2, 2)
+
+    def test_rsp_designs_are_two_stage(self):
+        for design in range(1, 5):
+            assert rsp_architecture(design).pipelining.stages == 2
+
+    def test_invalid_design_index(self):
+        with pytest.raises(ArchitectureError):
+            rs_architecture(5)
+        with pytest.raises(ArchitectureError):
+            rsp_architecture(0)
+
+    def test_architecture_by_name(self):
+        assert architecture_by_name("rsp#2").name == "RSP#2"
+        with pytest.raises(ArchitectureError):
+            architecture_by_name("RSP#9")
+
+    def test_custom_dimensions(self):
+        small = rs_architecture(1, rows=4, cols=4)
+        assert small.array.rows == 4
+        assert small.total_shared_units == 4

@@ -1,0 +1,89 @@
+"""Tests for the hardware cost model (paper Eq. 2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import base_architecture, rs_architecture, rsp_architecture
+from repro.core.cost_model import HardwareCostModel
+from repro.synthesis.calibration import PAPER_TABLE2
+
+
+def test_full_pe_area_matches_paper_table1(cost_model):
+    assert cost_model.full_pe_area() == pytest.approx(910.0)
+
+
+def test_shared_pe_area_close_to_paper(cost_model, rs2_arch):
+    # Paper Table 2 reports 489 slices for the PE without its multiplier.
+    assert cost_model.shared_pe_area(rs2_arch) == pytest.approx(494.0)
+    assert abs(cost_model.shared_pe_area(rs2_arch) - 489.0) / 489.0 < 0.02
+
+
+def test_base_array_area_is_num_pes_times_pe_area(cost_model, base_arch):
+    assert cost_model.array_area(base_arch) == pytest.approx(64 * 910.0)
+
+
+def test_register_area_only_for_pipelined(cost_model, rs2_arch, rsp2_arch):
+    assert cost_model.register_area_per_pe(rs2_arch) == 0.0
+    assert cost_model.register_area_per_pe(rsp2_arch) > 0.0
+
+
+def test_switch_area_grows_with_ports(cost_model):
+    areas = [cost_model.switch_area_per_pe(rs_architecture(design)) for design in range(1, 5)]
+    assert areas == sorted(areas)
+    assert areas[0] == pytest.approx(10.0)
+    assert areas[-1] == pytest.approx(68.0)
+
+
+def test_breakdown_totals_are_consistent(cost_model, rsp2_arch):
+    breakdown = cost_model.breakdown(rsp2_arch)
+    assert breakdown.array_total == pytest.approx(
+        breakdown.pe_total
+        + breakdown.switch_total
+        + breakdown.register_total
+        + breakdown.shared_total
+    )
+    assert breakdown.shared_total == pytest.approx(
+        breakdown.shared_resource_area * rsp2_arch.total_shared_units
+    )
+
+
+def test_every_sharing_design_is_smaller_than_base(cost_model):
+    base = base_architecture()
+    for design in range(1, 5):
+        assert cost_model.satisfies_cost_constraint(rs_architecture(design), base)
+        assert cost_model.satisfies_cost_constraint(rsp_architecture(design), base)
+
+
+def test_area_reduction_ordering_matches_paper(cost_model):
+    """RS#1 saves the most area, RS#4 the least; RSP adds register overhead."""
+    rs_reductions = [
+        cost_model.area_reduction_percent(rs_architecture(design)) for design in range(1, 5)
+    ]
+    assert rs_reductions == sorted(rs_reductions, reverse=True)
+    rsp_reductions = [
+        cost_model.area_reduction_percent(rsp_architecture(design)) for design in range(1, 5)
+    ]
+    assert rsp_reductions == sorted(rsp_reductions, reverse=True)
+    for rs_value, rsp_value in zip(rs_reductions, rsp_reductions):
+        assert rs_value > rsp_value
+
+
+def test_area_within_fifteen_percent_of_paper(cost_model):
+    for design in range(1, 5):
+        for factory in (rs_architecture, rsp_architecture):
+            spec = factory(design)
+            paper = PAPER_TABLE2[spec.name].array_area_slices
+            measured = cost_model.array_area(spec)
+            assert abs(measured - paper) / paper < 0.15
+
+
+def test_rsp_larger_than_matching_rs(cost_model):
+    for design in range(1, 5):
+        assert cost_model.array_area(rsp_architecture(design)) > cost_model.array_area(
+            rs_architecture(design)
+        )
+
+
+def test_area_reduction_of_base_is_zero(cost_model, base_arch):
+    assert cost_model.area_reduction_percent(base_arch) == pytest.approx(0.0)

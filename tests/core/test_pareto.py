@@ -1,0 +1,85 @@
+"""Tests and properties for the Pareto-front utilities."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import dominates, knee_point, pareto_front, pareto_front_vectors
+
+
+def test_dominates_basic():
+    assert dominates((1, 1), (2, 2))
+    assert dominates((1, 2), (1, 3))
+    assert not dominates((1, 1), (1, 1))
+    assert not dominates((1, 3), (2, 2))
+
+
+def test_dominates_length_mismatch():
+    with pytest.raises(ValueError):
+        dominates((1,), (1, 2))
+
+
+def test_pareto_front_vectors_simple():
+    vectors = [(1, 4), (2, 2), (4, 1), (3, 3), (5, 5)]
+    front = pareto_front_vectors(vectors)
+    assert front == [0, 1, 2]
+
+
+def test_pareto_front_preserves_order_and_objects():
+    items = [{"a": 1, "b": 4}, {"a": 2, "b": 2}, {"a": 3, "b": 3}]
+    front = pareto_front(items, objectives=(lambda item: item["a"], lambda item: item["b"]))
+    assert front == [items[0], items[1]]
+
+
+def test_pareto_front_requires_objectives():
+    with pytest.raises(ValueError):
+        pareto_front([1, 2], objectives=())
+
+
+def test_knee_point_balances_objectives():
+    items = [(0.0, 10.0), (5.0, 5.0), (10.0, 0.0)]
+    knee = knee_point(items, objectives=(lambda item: item[0], lambda item: item[1]))
+    assert knee == (5.0, 5.0)
+
+
+def test_knee_point_empty_rejected():
+    with pytest.raises(ValueError):
+        knee_point([], objectives=(lambda item: item,))
+
+
+def test_knee_point_single_item():
+    assert knee_point([(3, 4)], objectives=(lambda item: item[0], lambda item: item[1])) == (3, 4)
+
+
+# ----------------------------------------------------------------------
+# Properties
+# ----------------------------------------------------------------------
+points = st.lists(
+    st.tuples(st.integers(0, 50), st.integers(0, 50)), min_size=1, max_size=30
+)
+
+
+@given(points)
+@settings(max_examples=60, deadline=None)
+def test_front_members_are_mutually_non_dominated(values):
+    front = pareto_front(values, objectives=(lambda point: point[0], lambda point: point[1]))
+    for first in front:
+        for second in front:
+            assert not dominates(first, second) or first == second
+
+
+@given(points)
+@settings(max_examples=60, deadline=None)
+def test_every_point_is_dominated_by_or_on_the_front(values):
+    front = pareto_front(values, objectives=(lambda point: point[0], lambda point: point[1]))
+    for point in values:
+        assert point in front or any(dominates(member, point) for member in front)
+
+
+@given(points)
+@settings(max_examples=60, deadline=None)
+def test_knee_point_is_on_the_front(values):
+    objectives = (lambda point: point[0], lambda point: point[1])
+    assert knee_point(values, objectives) in pareto_front(values, objectives)

@@ -1,0 +1,86 @@
+"""Tests for the primitive/critical resource classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch.components import Component, ComponentKind, ComponentLibrary
+from repro.core.resources import (
+    ClassificationThresholds,
+    ResourceClass,
+    classify_components,
+    component_for_optype,
+    critical_components,
+    optypes_for_component,
+)
+from repro.errors import ArchitectureError
+from repro.ir import OpType
+
+
+def test_default_classification_marks_only_multiplier_critical(library):
+    classification = classify_components(library)
+    assert classification["array_multiplier"] == ResourceClass.AREA_AND_DELAY_CRITICAL
+    assert classification["alu"] == ResourceClass.PRIMITIVE
+    assert classification["shift_logic"] == ResourceClass.PRIMITIVE
+    assert classification["multiplexer"] == ResourceClass.PRIMITIVE
+
+
+def test_critical_components_sorted_by_area(library):
+    critical = critical_components(library)
+    assert [component.name for component in critical] == ["array_multiplier"]
+
+
+def test_resource_class_flags():
+    assert ResourceClass.AREA_AND_DELAY_CRITICAL.is_critical
+    assert ResourceClass.AREA_AND_DELAY_CRITICAL.is_area_critical
+    assert ResourceClass.AREA_AND_DELAY_CRITICAL.is_delay_critical
+    assert ResourceClass.AREA_CRITICAL.is_area_critical
+    assert not ResourceClass.AREA_CRITICAL.is_delay_critical
+    assert not ResourceClass.PRIMITIVE.is_critical
+
+
+def test_thresholds_validation():
+    with pytest.raises(ArchitectureError):
+        ClassificationThresholds(area_fraction=0.0)
+    with pytest.raises(ArchitectureError):
+        ClassificationThresholds(delay_fraction=1.5)
+
+
+def test_custom_thresholds_change_outcome(library):
+    # With a very low area threshold, the ALU also becomes area-critical.
+    loose = ClassificationThresholds(area_fraction=0.2, delay_fraction=0.2)
+    classification = classify_components(library, loose)
+    assert classification["alu"].is_critical
+
+
+def test_classification_requires_functional_units():
+    with pytest.raises(ArchitectureError):
+        classify_components(ComponentLibrary())
+
+
+def test_area_only_and_delay_only_classes():
+    library = ComponentLibrary(
+        [
+            Component("big_slow", ComponentKind.MULTIPLIER, area_slices=100, delay_ns=1),
+            Component("small_fast", ComponentKind.ALU, area_slices=10, delay_ns=1),
+            Component("small_slow", ComponentKind.SHIFTER, area_slices=10, delay_ns=20),
+        ]
+    )
+    classification = classify_components(library)
+    assert classification["big_slow"] == ResourceClass.AREA_CRITICAL
+    assert classification["small_slow"] == ResourceClass.DELAY_CRITICAL
+    assert classification["small_fast"] == ResourceClass.PRIMITIVE
+
+
+def test_component_for_optype_mapping():
+    assert component_for_optype(OpType.MUL) == "array_multiplier"
+    assert component_for_optype(OpType.ADD) == "alu"
+    assert component_for_optype(OpType.SHIFT) == "shift_logic"
+    assert component_for_optype(OpType.LOAD) is None
+    assert component_for_optype(OpType.CONST) is None
+
+
+def test_optypes_for_component_inverse():
+    assert OpType.MUL in optypes_for_component("array_multiplier")
+    alu_ops = optypes_for_component("alu")
+    assert OpType.ADD in alu_ops and OpType.SUB in alu_ops and OpType.ABS in alu_ops

@@ -1,0 +1,93 @@
+"""Tests for RSP parameters and design-space enumeration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rsp_params import (
+    RSPParameters,
+    base_parameters,
+    enumerate_design_space,
+    paper_parameters,
+)
+from repro.errors import ExplorationError
+
+
+def test_base_parameters_classification():
+    parameters = base_parameters()
+    assert parameters.kind == "base"
+    assert not parameters.uses_sharing
+    assert not parameters.uses_pipelining
+    assert parameters.describe() == "base"
+
+
+def test_paper_parameters_match_figure8():
+    rs2 = paper_parameters(2, pipelined=False)
+    assert rs2.kind == "rs"
+    assert (rs2.rows_shared, rs2.cols_shared) == (2, 0)
+    rsp3 = paper_parameters(3, pipelined=True)
+    assert rsp3.kind == "rsp"
+    assert (rsp3.rows_shared, rsp3.cols_shared) == (2, 1)
+    assert rsp3.pipeline_stages == 2
+
+
+def test_paper_parameters_invalid_design():
+    with pytest.raises(ExplorationError):
+        paper_parameters(7, pipelined=False)
+
+
+def test_parameter_validation():
+    with pytest.raises(ExplorationError):
+        RSPParameters(pipeline_stages=0)
+    with pytest.raises(ExplorationError):
+        RSPParameters(pipelined_resources=("array_multiplier",), pipeline_stages=1)
+    with pytest.raises(ExplorationError):
+        RSPParameters(shared_resources=("array_multiplier",))  # no rows/cols
+    with pytest.raises(ExplorationError):
+        RSPParameters(rows_shared=1)  # rows without a shared type
+
+
+def test_to_architecture_round_trip():
+    parameters = paper_parameters(4, pipelined=True)
+    spec = parameters.to_architecture(name="RSP#4")
+    assert spec.name == "RSP#4"
+    assert spec.sharing.rows_shared == 2
+    assert spec.sharing.cols_shared == 2
+    assert spec.pipelining.stages == 2
+    assert spec.kind == "rsp"
+
+
+def test_to_architecture_default_name_is_description():
+    parameters = paper_parameters(1, pipelined=False)
+    spec = parameters.to_architecture()
+    assert spec.name == parameters.describe()
+    assert "rs(" in spec.name
+
+
+def test_enumerate_design_space_default_sweep():
+    candidates = enumerate_design_space()
+    # base + 8 topologies x 2 stage options
+    assert len(candidates) == 1 + 8 * 2
+    kinds = {candidate.kind for candidate in candidates}
+    assert kinds == {"base", "rs", "rsp"}
+    descriptions = [candidate.describe() for candidate in candidates]
+    assert len(descriptions) == len(set(descriptions))
+
+
+def test_enumerate_design_space_without_base():
+    candidates = enumerate_design_space(include_base=False)
+    assert all(candidate.kind != "base" for candidate in candidates)
+
+
+def test_enumerate_design_space_custom_bounds():
+    candidates = enumerate_design_space(max_rows_shared=1, max_cols_shared=0, stage_options=(1,))
+    assert [candidate.describe() for candidate in candidates] == ["base", "rs(shr=1,shc=0,stages=1)"]
+
+
+def test_enumerate_design_space_rejects_bad_inputs():
+    with pytest.raises(ExplorationError):
+        enumerate_design_space(stage_options=())
+    with pytest.raises(ExplorationError):
+        enumerate_design_space(max_rows_shared=-1)
+    with pytest.raises(ExplorationError):
+        enumerate_design_space(stage_options=(0,))

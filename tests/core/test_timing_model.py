@@ -1,0 +1,92 @@
+"""Tests for the critical-path timing model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import (
+    ArchitectureSpec,
+    PipeliningSpec,
+    SharingTopology,
+    base_architecture,
+    default_array_spec,
+    rs_architecture,
+    rsp_architecture,
+)
+from repro.core.timing_model import TimingModel
+from repro.errors import TimingModelError
+from repro.synthesis.calibration import PAPER_TABLE2
+
+
+def test_full_pe_path_matches_paper_table1(timing_model):
+    assert timing_model.full_pe_path_ns() == pytest.approx(25.6)
+
+
+def test_primitive_pe_path_matches_paper_table2(timing_model):
+    assert timing_model.primitive_pe_path_ns() == pytest.approx(15.3)
+
+
+def test_base_array_delay_matches_paper(timing_model, base_arch):
+    assert timing_model.critical_path_ns(base_arch) == pytest.approx(26.0)
+
+
+def test_rs_delay_grows_with_switch_ports(timing_model):
+    delays = [timing_model.critical_path_ns(rs_architecture(design)) for design in range(1, 5)]
+    assert delays == sorted(delays)
+    assert all(delay > 26.0 for delay in delays)
+
+
+def test_rsp_delay_is_much_shorter_than_base(timing_model, base_arch):
+    base_delay = timing_model.critical_path_ns(base_arch)
+    for design in range(1, 5):
+        rsp_delay = timing_model.critical_path_ns(rsp_architecture(design))
+        assert rsp_delay < base_delay * 0.80
+
+
+def test_delays_within_ten_percent_of_paper(timing_model, all_paper_archs):
+    for spec in all_paper_archs:
+        paper = PAPER_TABLE2[spec.name].array_delay_ns
+        measured = timing_model.critical_path_ns(spec)
+        assert abs(measured - paper) / paper < 0.10, spec.name
+
+
+def test_delay_reduction_sign_convention(timing_model):
+    # RS designs are slower than the base (negative reduction), RSP faster.
+    for design in range(1, 5):
+        assert timing_model.delay_reduction_percent(rs_architecture(design)) < 0
+        assert timing_model.delay_reduction_percent(rsp_architecture(design)) > 0
+
+
+def test_clock_frequency_inverse_of_period(timing_model, base_arch):
+    frequency = timing_model.clock_frequency_mhz(base_arch)
+    assert frequency == pytest.approx(1000.0 / 26.0)
+
+
+def test_more_pipeline_stages_shorten_the_multiplier_stage(timing_model):
+    two_stage = rsp_architecture(2, stages=2)
+    three_stage = rsp_architecture(2, stages=3)
+    assert timing_model.shared_resource_stage_ns(three_stage) < timing_model.shared_resource_stage_ns(two_stage)
+    assert timing_model.critical_path_ns(three_stage) <= timing_model.critical_path_ns(two_stage)
+
+
+def test_rp_only_design_point(timing_model, base_arch):
+    """Pipelining a per-PE multiplier (no sharing) still shortens the path."""
+    rp_only = ArchitectureSpec(
+        name="RP-only",
+        array=default_array_spec(),
+        sharing=SharingTopology(0, 0),
+        pipelining=PipeliningSpec(stages=2),
+    )
+    assert timing_model.critical_path_ns(rp_only) < timing_model.critical_path_ns(base_arch)
+
+
+def test_negative_wiring_margin_rejected(library):
+    with pytest.raises(TimingModelError):
+        TimingModel(library, wiring_margin_ns=-1.0)
+
+
+def test_breakdown_reports_components(timing_model, rsp2_arch):
+    breakdown = timing_model.breakdown(rsp2_arch)
+    assert breakdown.architecture == "RSP#2"
+    assert breakdown.switch_detour_ns == pytest.approx(2 * 1.2)
+    assert breakdown.critical_path_ns >= breakdown.pe_internal_path_ns

@@ -1,0 +1,66 @@
+"""Tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import base_architecture, rsp_architecture
+from repro.errors import ReproError
+from repro.eval.metrics import (
+    PerformanceRecord,
+    delay_reduction_percent,
+    execution_time_ns,
+    performance_record,
+    speedup,
+)
+
+
+def test_execution_time_product():
+    assert execution_time_ns(15, 26.0) == pytest.approx(390.0)
+
+
+def test_execution_time_input_validation():
+    with pytest.raises(ReproError):
+        execution_time_ns(-1, 26.0)
+    with pytest.raises(ReproError):
+        execution_time_ns(10, 0.0)
+
+
+def test_delay_reduction_sign_convention():
+    assert delay_reduction_percent(100.0, 80.0) == pytest.approx(20.0)
+    assert delay_reduction_percent(100.0, 120.0) == pytest.approx(-20.0)
+    with pytest.raises(ReproError):
+        delay_reduction_percent(0.0, 10.0)
+
+
+def test_speedup():
+    assert speedup(200.0, 100.0) == pytest.approx(2.0)
+    with pytest.raises(ReproError):
+        speedup(100.0, 0.0)
+
+
+def test_performance_record_from_mapping(mapper, mvm_kernel, timing_model):
+    result = mapper.map_kernel(mvm_kernel, rsp_architecture(2))
+    record = performance_record(result, timing_model)
+    assert isinstance(record, PerformanceRecord)
+    assert record.kernel == "MVM"
+    assert record.architecture == "RSP#2"
+    assert record.cycles == result.cycles
+    assert record.execution_time == pytest.approx(record.cycles * record.critical_path_ns)
+    # RSP#2's clock is fast enough that MVM improves despite extra cycles.
+    assert record.delay_reduction > 0
+    assert record.stalls == result.stall_cycles
+
+
+def test_performance_record_base_has_no_stall_entry(mapper, mvm_kernel, timing_model):
+    result = mapper.map_kernel(mvm_kernel, base_architecture())
+    record = performance_record(result, timing_model)
+    assert record.stalls is None
+    assert record.delay_reduction == pytest.approx(0.0)
+    assert not record.is_stalled
+
+
+def test_performance_record_with_explicit_base_time(mapper, mvm_kernel, timing_model):
+    result = mapper.map_kernel(mvm_kernel, rsp_architecture(2))
+    record = performance_record(result, timing_model, base_execution_time=1_000_000.0)
+    assert record.delay_reduction > 99.0

@@ -1,0 +1,97 @@
+"""Tests for the full experiment report builder.
+
+Building the report maps every kernel on every architecture; it is the
+heaviest test in the suite, so it is built once per module and shared.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.report import build_report, compute_headline_claims, report_to_markdown
+from repro.mapping import RSPMapper
+
+
+@pytest.fixture(scope="module")
+def report():
+    return build_report(mapper=RSPMapper(), include_exploration=True)
+
+
+def test_report_contains_all_tables(report):
+    assert len(report.table1) == 5
+    assert len(report.table2) == 9
+    assert len(report.table3) == 9
+    assert len(report.table4.kernels) == 5
+    assert len(report.table5.kernels) == 4
+    assert report.exploration is not None
+
+
+def test_headline_claims_within_paper_ballpark(report):
+    headline = report.headline
+    # Area reduction: paper claims up to 42.8%; the analytical model lands
+    # within ten percentage points of that.
+    assert abs(headline.max_area_reduction_percent - 42.8) < 10.0
+    # Delay reduction: paper claims up to 34.69%.
+    assert abs(headline.max_delay_reduction_percent - 34.69) < 8.0
+    # Performance improvement: paper claims up to 35.7%.
+    assert abs(headline.max_performance_improvement_percent - 35.7) < 10.0
+
+
+def test_headline_recomputation_matches_report(report):
+    recomputed = compute_headline_claims(report.table2, report.table4, report.table5)
+    assert recomputed.max_area_reduction_percent == report.headline.max_area_reduction_percent
+    assert recomputed.max_delay_reduction_percent == report.headline.max_delay_reduction_percent
+
+
+def test_sad_gets_the_best_performance_improvement(report):
+    """Paper Section 5.3: the speedup is largest for SAD (no multiplications)."""
+    best_by_kernel = {}
+    for table in (report.table4, report.table5):
+        for kernel in table.kernels:
+            best_by_kernel[kernel] = table.best_delay_reduction(kernel).delay_reduction
+    assert max(best_by_kernel, key=lambda name: best_by_kernel[name]) == "SAD"
+
+
+def test_rsp2_supports_every_kernel_without_stall(report):
+    """Paper: 'RSP Arch#2 supports all of the selected kernels without stall'.
+
+    Our 2D-FDCT generator packs multiplications more densely than the
+    paper's mapping, so RSP#2 keeps a few residual stall cycles there; the deviation is documented in
+    EXPERIMENTS.md.  Every other kernel must be stall-free, and even for
+    2D-FDCT the stalls must stay well below the RS#2 figure.
+    """
+    for table in (report.table4, report.table5):
+        for kernel in table.kernels:
+            stalls = table.record(kernel, "RSP#2").stalls
+            if kernel == "2D-FDCT":
+                assert stalls <= 5
+                assert stalls <= table.record(kernel, "RS#2").stalls
+            else:
+                assert stalls == 0, kernel
+
+
+def test_rs1_stalls_on_multiplication_heavy_kernels(report):
+    """RS#1 (one multiplier per row) stalls on the mult-heavy kernels."""
+    stalled = [
+        kernel
+        for table in (report.table4, report.table5)
+        for kernel in table.kernels
+        if table.record(kernel, "RS#1").stalls
+    ]
+    assert "State" in stalled or "Hydro" in stalled
+    assert "2D-FDCT" in stalled
+    assert "SAD" not in stalled
+
+
+def test_exploration_selects_a_sharing_design(report):
+    selected = report.exploration.selected
+    assert selected is not None
+    assert selected.parameters.kind in ("rs", "rsp")
+
+
+def test_markdown_rendering_contains_every_section(report):
+    text = report_to_markdown(report)
+    for heading in ("Table 1", "Table 2", "Table 3", "Table 4", "Table 5", "Headline", "exploration"):
+        assert heading in text
+    assert "RSP#2" in text
+    assert "| Kernel |" in text

@@ -1,0 +1,86 @@
+"""Tests for the paper-table regeneration helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import base_architecture, rs_architecture, rsp_architecture
+from repro.eval.tables import (
+    format_performance_table,
+    format_table1,
+    format_table2,
+    format_table3,
+    performance_table,
+    table1_pe_components,
+    table2_architectures,
+    table3_kernels,
+)
+from repro.kernels import get_kernel
+
+
+def test_table1_rows_and_ratios():
+    rows = table1_pe_components()
+    assert [row.component for row in rows] == [
+        "PE", "Multiplexer", "ALU", "Array multiplier", "Shift logic",
+    ]
+    pe_row = rows[0]
+    assert pe_row.area_ratio_percent == pytest.approx(100.0)
+    multiplier_row = next(row for row in rows if row.component == "Array multiplier")
+    # The multiplier dominates both area and delay — the paper's bold cells.
+    assert multiplier_row.area_ratio_percent > 40.0
+    assert multiplier_row.delay_ratio_percent > 70.0
+    assert multiplier_row.paper_area_slices == 416
+
+
+def test_format_table1_contains_all_components():
+    text = format_table1(table1_pe_components())
+    assert "Array multiplier" in text
+    assert "Table 1" in text
+
+
+def test_table2_estimates_have_paper_reference(surrogate):
+    estimates = table2_architectures(surrogate)
+    assert len(estimates) == 9
+    assert all(estimate.paper is not None for estimate in estimates)
+    text = format_table2(estimates)
+    assert "RSP#4" in text and "Area R(%)" in text
+
+
+@pytest.fixture(scope="module")
+def shared_mapper():
+    from repro.mapping import RSPMapper
+
+    return RSPMapper()
+
+
+def test_table3_rows_cover_all_kernels(shared_mapper):
+    rows = table3_kernels(mapper=shared_mapper)
+    assert [row.kernel for row in rows] == [
+        "Hydro", "ICCG", "Tri-diagonal", "Inner product", "State",
+        "2D-FDCT", "SAD", "MVM", "FFT",
+    ]
+    by_name = {row.kernel: row for row in rows}
+    assert by_name["SAD"].max_multiplications == 0
+    assert by_name["Inner product"].max_multiplications >= 1
+    assert by_name["MVM"].paper_max_multiplications == 8
+    text = format_table3(rows)
+    assert "Mult No" in text
+
+
+def test_performance_table_structure(shared_mapper, timing_model):
+    kernels = [get_kernel("MVM"), get_kernel("ICCG")]
+    architectures = [base_architecture(), rs_architecture(2), rsp_architecture(2)]
+    table = performance_table(
+        kernels, mapper=shared_mapper, timing_model=timing_model, architectures=architectures
+    )
+    assert table.kernels == ["MVM", "ICCG"]
+    assert table.architectures == ["Base", "RS#2", "RSP#2"]
+    record = table.record("MVM", "RSP#2")
+    assert record.cycles >= table.record("MVM", "Base").cycles
+    base_record = table.record("MVM", "Base")
+    assert base_record.delay_reduction == pytest.approx(0.0)
+    assert base_record.stalls is None
+    best = table.best_delay_reduction("MVM")
+    assert best.architecture in ("RS#2", "RSP#2")
+    text = format_performance_table(table)
+    assert "MVM" in text and "ET(ns)" in text

@@ -1,0 +1,81 @@
+"""Property-based tests on the dataflow-graph IR (Hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import DFG, DFGBuilder, OpType
+
+
+@st.composite
+def random_layered_dfg(draw):
+    """A random acyclic DFG built layer by layer with the builder.
+
+    Layer 0 consists of loads; every later operation consumes two values
+    from strictly earlier layers, so the graph is acyclic by construction.
+    """
+    builder = DFGBuilder("random")
+    num_loads = draw(st.integers(min_value=2, max_value=8))
+    values = [builder.load("x", index) for index in range(num_loads)]
+    num_ops = draw(st.integers(min_value=1, max_value=25))
+    optypes = [OpType.ADD, OpType.SUB, OpType.MUL, OpType.MIN, OpType.MAX]
+    for index in range(num_ops):
+        left = draw(st.sampled_from(values))
+        right = draw(st.sampled_from(values))
+        optype = draw(st.sampled_from(optypes))
+        values.append(builder.binary(optype, left, right))
+        if draw(st.booleans()):
+            builder.next_iteration()
+    return builder.build()
+
+
+@given(random_layered_dfg())
+@settings(max_examples=40, deadline=None)
+def test_builder_graphs_are_acyclic(dfg: DFG):
+    assert dfg.is_acyclic()
+
+
+@given(random_layered_dfg())
+@settings(max_examples=40, deadline=None)
+def test_topological_order_contains_every_operation_once(dfg: DFG):
+    order = dfg.topological_order()
+    assert len(order) == len(dfg)
+    assert len(set(order)) == len(order)
+    positions = {name: index for index, name in enumerate(order)}
+    for producer, consumer in dfg.edges():
+        assert positions[producer] < positions[consumer]
+
+
+@given(random_layered_dfg())
+@settings(max_examples=40, deadline=None)
+def test_depth_bounded_by_operation_count_and_positive(dfg: DFG):
+    depth = dfg.depth()
+    assert 1 <= depth <= len(dfg)
+    # Critical path length equals the unit-latency depth.
+    assert len(dfg.critical_path()) == depth
+
+
+@given(random_layered_dfg())
+@settings(max_examples=40, deadline=None)
+def test_serialisation_round_trip_preserves_structure(dfg: DFG):
+    rebuilt = DFG.from_dict(dfg.to_dict())
+    assert len(rebuilt) == len(dfg)
+    assert sorted(rebuilt.edges()) == sorted(dfg.edges())
+    assert rebuilt.op_counts() == dfg.op_counts()
+
+
+@given(random_layered_dfg())
+@settings(max_examples=40, deadline=None)
+def test_op_counts_sum_to_total(dfg: DFG):
+    assert sum(dfg.op_counts().values()) == len(dfg)
+
+
+@given(random_layered_dfg(), random_layered_dfg())
+@settings(max_examples=20, deadline=None)
+def test_merge_adds_exactly_the_other_graph(dfg: DFG, other: DFG):
+    before_nodes, before_edges = len(dfg), dfg.number_of_edges()
+    dfg.merge(other)
+    assert len(dfg) == before_nodes + len(other)
+    assert dfg.number_of_edges() == before_edges + other.number_of_edges()
+    assert dfg.is_acyclic()

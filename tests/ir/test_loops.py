@@ -1,0 +1,100 @@
+"""Tests for the kernel-loop abstraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.ir import DFGBuilder, Kernel, KernelCharacterisation, OpType
+
+
+def mac_body(builder: DFGBuilder, iteration: int, state: dict) -> None:
+    a = builder.load("x", iteration)
+    b = builder.load("y", iteration)
+    product = builder.mul(a, b)
+    builder.store("z", iteration, product)
+
+
+def make_kernel(iterations: int = 4) -> Kernel:
+    return Kernel(name="mac", body=mac_body, iterations=iterations, description="test kernel")
+
+
+def test_kernel_requires_positive_iterations():
+    with pytest.raises(KernelError):
+        Kernel(name="bad", body=mac_body, iterations=0)
+
+
+def test_kernel_requires_callable_body():
+    with pytest.raises(KernelError):
+        Kernel(name="bad", body="not callable", iterations=1)  # type: ignore[arg-type]
+
+
+def test_build_body_single_iteration():
+    body = make_kernel().build_body()
+    assert len(body) == 4
+    assert body.iterations() == [0]
+
+
+def test_build_unrolls_all_iterations():
+    dfg = make_kernel(iterations=5).build()
+    assert len(dfg) == 20
+    assert dfg.iterations() == [0, 1, 2, 3, 4]
+
+
+def test_build_with_override_count():
+    dfg = make_kernel(iterations=5).build(iterations=2)
+    assert len(dfg) == 8
+
+
+def test_build_rejects_non_positive_override():
+    with pytest.raises(KernelError):
+        make_kernel().build(iterations=0)
+
+
+def test_operation_set_excludes_memory():
+    kernel = make_kernel()
+    assert kernel.operation_set() == [OpType.MUL]
+    assert kernel.operation_set_names() == ["mult"]
+
+
+def test_total_operations():
+    assert make_kernel(iterations=3).total_operations() == 12
+
+
+def test_state_carries_values_between_iterations():
+    def accumulating_body(builder: DFGBuilder, iteration: int, state: dict) -> None:
+        value = builder.load("x", iteration)
+        if "acc" in state:
+            state["acc"] = builder.add(state["acc"], value)
+        else:
+            state["acc"] = value
+
+    kernel = Kernel(name="acc", body=accumulating_body, iterations=4)
+    dfg = kernel.build()
+    assert len(dfg.operations_of_type(OpType.ADD)) == 3
+
+
+def test_finalize_emits_epilogue():
+    def finalize(builder: DFGBuilder, state: dict) -> None:
+        builder.store("out", 0, state["acc"])
+
+    def body(builder: DFGBuilder, iteration: int, state: dict) -> None:
+        value = builder.load("x", iteration)
+        state["acc"] = builder.add(state["acc"], value) if "acc" in state else value
+
+    kernel = Kernel(name="acc", body=body, iterations=3, finalize=finalize)
+    dfg = kernel.build()
+    stores = dfg.operations_of_type(OpType.STORE)
+    assert len(stores) == 1
+    assert stores[0].array == "out"
+    # The body-only build does not include the epilogue.
+    assert len(kernel.build_body().operations_of_type(OpType.STORE)) == 0
+
+
+def test_characterisation_from_kernel():
+    characterisation = KernelCharacterisation.from_kernel(make_kernel(), max_multiplications_per_cycle=3)
+    assert characterisation.name == "mac"
+    assert characterisation.body_multiplications == 1
+    assert characterisation.body_memory_operations == 3
+    assert characterisation.operation_set == ["mult"]
+    assert characterisation.max_multiplications_per_cycle == 3

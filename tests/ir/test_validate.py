@@ -1,0 +1,92 @@
+"""Tests for DFG validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DFGValidationError
+from repro.ir import DFG, DFGBuilder, Operation, OpType
+from repro.ir.validate import collect_dfg_problems, is_valid_dfg, validate_dfg
+
+
+def valid_dfg() -> DFG:
+    builder = DFGBuilder()
+    a = builder.load("x", 0)
+    b = builder.load("y", 0)
+    c = builder.mul(a, b)
+    builder.store("z", 0, c)
+    return builder.build()
+
+
+def test_valid_graph_passes():
+    dfg = valid_dfg()
+    assert collect_dfg_problems(dfg) == []
+    assert is_valid_dfg(dfg)
+    validate_dfg(dfg)
+
+
+def test_wrong_operand_count_detected():
+    dfg = DFG()
+    dfg.add_operation(Operation("a", OpType.LOAD, array="x"))
+    dfg.add_operation(Operation("m", OpType.MUL))
+    dfg.add_dependence("a", "m")
+    problems = collect_dfg_problems(dfg)
+    assert any("expects 2 operand" in problem for problem in problems)
+    assert not is_valid_dfg(dfg)
+
+
+def test_memory_op_without_array_detected():
+    dfg = DFG()
+    dfg.add_operation(Operation("a", OpType.LOAD))
+    assert any("does not name the accessed array" in p for p in collect_dfg_problems(dfg))
+
+
+def test_const_without_immediate_detected():
+    dfg = DFG()
+    dfg.add_operation(Operation("c", OpType.CONST))
+    assert any("no immediate" in p for p in collect_dfg_problems(dfg))
+
+
+def test_shift_without_amount_detected():
+    dfg = DFG()
+    dfg.add_operation(Operation("a", OpType.LOAD, array="x"))
+    dfg.add_operation(Operation("s", OpType.SHIFT))
+    dfg.add_dependence("a", "s")
+    assert any("no shift amount" in p for p in collect_dfg_problems(dfg))
+
+
+def test_store_with_consumer_detected():
+    dfg = DFG()
+    dfg.add_operation(Operation("a", OpType.LOAD, array="x"))
+    dfg.add_operation(Operation("st", OpType.STORE, array="z"))
+    dfg.add_operation(Operation("b", OpType.MOV))
+    dfg.add_dependence("a", "st")
+    dfg.add_dependence("st", "b")
+    assert any("must not feed value consumers" in p for p in collect_dfg_problems(dfg))
+
+
+def test_cycle_detected():
+    dfg = DFG()
+    dfg.add_operation(Operation("a", OpType.MOV))
+    dfg.add_operation(Operation("b", OpType.MOV))
+    dfg.add_dependence("a", "b")
+    dfg.add_dependence("b", "a")
+    assert any("cycle" in p for p in collect_dfg_problems(dfg))
+
+
+def test_validate_raises_with_all_problems():
+    dfg = DFG()
+    dfg.add_operation(Operation("c", OpType.CONST))
+    dfg.add_operation(Operation("l", OpType.LOAD))
+    with pytest.raises(DFGValidationError) as excinfo:
+        validate_dfg(dfg)
+    message = str(excinfo.value)
+    assert "no immediate" in message
+    assert "does not name" in message
+
+
+def test_all_paper_kernels_are_valid():
+    from repro.kernels import paper_suite
+
+    for kernel in paper_suite():
+        validate_dfg(kernel.build_body())

@@ -1,0 +1,100 @@
+"""Tests for the DSP kernels (paper Table 5 workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import OpType, validate_dfg
+from repro.kernels.dsp import (
+    dsp_kernels,
+    fdct_2d,
+    fft_multiplication_loop,
+    matrix_vector_multiplication,
+    sad_16x16,
+)
+
+
+def test_suite_contains_four_kernels_in_table_order():
+    assert [kernel.name for kernel in dsp_kernels()] == ["2D-FDCT", "SAD", "MVM", "FFT"]
+
+
+@pytest.mark.parametrize(
+    "factory, iterations",
+    [(fdct_2d, 4), (sad_16x16, 4), (matrix_vector_multiplication, 16), (fft_multiplication_loop, 8)],
+)
+def test_unrolled_kernels_are_valid(factory, iterations):
+    validate_dfg(factory().build(iterations=iterations))
+
+
+def test_fdct_operation_set_matches_paper():
+    assert fdct_2d().operation_set_names() == ["add", "mult", "shift", "sub"]
+
+
+def test_fdct_row_and_column_passes_touch_different_arrays():
+    dfg = fdct_2d().build()
+    loads = dfg.operations_of_type(OpType.LOAD)
+    arrays = {op.array for op in loads}
+    assert arrays == {"block", "temp"}
+    stores = {op.array for op in dfg.operations_of_type(OpType.STORE)}
+    assert stores == {"temp", "coeff"}
+
+
+def test_fdct_has_multiplications_and_shifts_every_iteration():
+    body = fdct_2d().build_body()
+    counts = body.op_counts()
+    assert counts[OpType.MUL] >= 10
+    assert counts[OpType.SHIFT] == 8
+    assert counts[OpType.LOAD] == 8
+    assert counts[OpType.STORE] == 8
+
+
+def test_sad_has_no_multiplications():
+    kernel = sad_16x16()
+    assert kernel.build(iterations=4).multiplication_count() == 0
+    assert kernel.operation_set_names() == ["abs", "add", "sub"]
+
+
+def test_sad_row_structure():
+    body = sad_16x16(width=16).build_body()
+    counts = body.op_counts()
+    assert counts[OpType.LOAD] == 32
+    assert counts[OpType.SUB] == 16
+    assert counts[OpType.ABS] == 16
+    assert counts[OpType.ADD] == 15
+
+
+def test_sad_epilogue_stores_single_result():
+    dfg = sad_16x16(iterations=4).build()
+    stores = dfg.operations_of_type(OpType.STORE)
+    assert len(stores) == 1
+    assert stores[0].array == "sad"
+
+
+def test_mvm_mac_granularity():
+    kernel = matrix_vector_multiplication(iterations=64, vector_length=8)
+    body = kernel.build_body()
+    assert body.op_counts()[OpType.MUL] == 1
+    assert body.op_counts()[OpType.LOAD] == 2
+    dfg = kernel.build()
+    assert dfg.multiplication_count() == 64
+    # One store per output row in the epilogue.
+    assert len(dfg.operations_of_type(OpType.STORE)) == 8
+    assert kernel.operation_set_names() == ["add", "mult"]
+
+
+def test_fft_complex_multiply_structure():
+    body = fft_multiplication_loop().build_body()
+    counts = body.op_counts()
+    assert counts[OpType.MUL] == 4
+    assert counts[OpType.LOAD] == 6
+    assert counts[OpType.STORE] == 4
+    assert counts[OpType.ADD] == 3
+    assert counts[OpType.SUB] == 3
+    assert fft_multiplication_loop().operation_set_names() == ["add", "mult", "sub"]
+
+
+def test_default_iteration_counts():
+    assert fdct_2d().iterations == 16
+    assert sad_16x16().iterations == 16
+    assert matrix_vector_multiplication().iterations == 64
+    assert fft_multiplication_loop().iterations == 32

@@ -1,0 +1,98 @@
+"""Tests for the Livermore-loop kernels (paper Table 4 workloads)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ir import OpType, validate_dfg
+from repro.kernels.livermore import (
+    PAPER_ITERATIONS,
+    hydro_fragment,
+    iccg,
+    inner_product,
+    livermore_kernels,
+    state_fragment,
+    tri_diagonal,
+)
+
+
+def test_suite_contains_five_kernels_in_table_order():
+    names = [kernel.name for kernel in livermore_kernels()]
+    assert names == ["Hydro", "ICCG", "Tri-diagonal", "Inner product", "State"]
+
+
+def test_default_iteration_counts_match_paper():
+    assert hydro_fragment().iterations == 32
+    assert iccg().iterations == 32
+    assert tri_diagonal().iterations == 64
+    assert inner_product().iterations == 128
+    assert state_fragment().iterations == 16
+    assert PAPER_ITERATIONS["Inner product"] == 128
+
+
+@pytest.mark.parametrize("factory", [hydro_fragment, iccg, tri_diagonal, inner_product, state_fragment])
+def test_unrolled_kernels_are_valid_dfgs(factory):
+    kernel = factory()
+    validate_dfg(kernel.build(iterations=min(kernel.iterations, 8)))
+
+
+def test_hydro_operation_mix():
+    body = hydro_fragment().build_body()
+    counts = body.op_counts()
+    assert counts[OpType.MUL] == 3
+    assert counts[OpType.ADD] == 2
+    assert counts[OpType.LOAD] == 3
+    assert counts[OpType.STORE] == 1
+    assert hydro_fragment().operation_set_names() == ["add", "mult"]
+
+
+def test_iccg_operation_mix():
+    body = iccg().build_body()
+    counts = body.op_counts()
+    assert counts[OpType.MUL] == 1
+    assert counts[OpType.SUB] == 1
+    assert iccg().operation_set_names() == ["mult", "sub"]
+
+
+def test_tri_diagonal_operation_mix_and_independence():
+    kernel = tri_diagonal()
+    assert kernel.operation_set_names() == ["mult", "sub"]
+    body = kernel.build_body()
+    assert body.op_counts()[OpType.LOAD] == 3
+    # The Jacobi-style form has no cross-iteration edges: the unrolled DFG's
+    # dependence depth equals the single-iteration depth.
+    unrolled = kernel.build(iterations=8)
+    assert unrolled.depth() == body.depth()
+
+
+def test_inner_product_partial_sums_and_epilogue():
+    kernel = inner_product(iterations=32, partial_sums=16)
+    dfg = kernel.build()
+    stores = dfg.operations_of_type(OpType.STORE)
+    assert len(stores) == 1
+    assert stores[0].array == "q"
+    assert dfg.multiplication_count() == 32
+    # 32 accumulating adds minus the 16 first-fills, plus the 15-add reduction tree.
+    assert len(dfg.operations_of_type(OpType.ADD)) == (32 - 16) + 15
+
+
+def test_inner_product_operation_set():
+    assert inner_product().operation_set_names() == ["add", "mult"]
+
+
+def test_state_has_eight_multiplications_per_iteration():
+    body = state_fragment().build_body()
+    assert body.op_counts()[OpType.MUL] == 8
+    assert body.op_counts()[OpType.LOAD] == 9
+    assert state_fragment().operation_set_names() == ["add", "mult"]
+
+
+def test_constants_created_once_across_iterations():
+    dfg = hydro_fragment(iterations=4).build()
+    constants = dfg.operations_of_type(OpType.CONST)
+    assert len(constants) == 3  # q, r, t shared by every iteration
+
+
+def test_iteration_annotation_matches_unroll_index():
+    dfg = iccg(iterations=5).build()
+    assert dfg.iterations() == [0, 1, 2, 3, 4]

@@ -1,0 +1,54 @@
+"""Tests for the matrix-multiplication example kernels (paper Figs. 2/6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import KernelError
+from repro.ir import OpType, validate_dfg
+from repro.kernels.matmul import matrix_multiplication, matrix_multiplication_column
+
+
+def test_element_kernel_structure():
+    kernel = matrix_multiplication(order=4, constant=1)
+    assert kernel.iterations == 16
+    body = kernel.build_body()
+    counts = body.op_counts()
+    assert counts[OpType.LOAD] == 8
+    assert counts[OpType.MUL] == 4
+    assert counts[OpType.ADD] == 3
+    assert counts[OpType.STORE] == 1
+    validate_dfg(kernel.build(iterations=4))
+
+
+def test_constant_scaling_adds_multiplication():
+    unscaled = matrix_multiplication(order=2, constant=1).build_body()
+    scaled = matrix_multiplication(order=2, constant=3).build_body()
+    assert scaled.multiplication_count() == unscaled.multiplication_count() + 1
+    constants = scaled.operations_of_type(OpType.CONST)
+    assert len(constants) == 1 and constants[0].immediate == 3
+
+
+def test_column_kernel_structure():
+    kernel = matrix_multiplication_column(order=4)
+    assert kernel.iterations == 4
+    body = kernel.build_body()
+    # One column of the result: 4 elements x (4 mults + 3 adds + 8 loads + store).
+    assert body.op_counts()[OpType.MUL] == 16
+    assert body.op_counts()[OpType.STORE] == 4
+    validate_dfg(kernel.build())
+
+
+def test_order_must_be_positive():
+    with pytest.raises(KernelError):
+        matrix_multiplication(order=0)
+    with pytest.raises(KernelError):
+        matrix_multiplication_column(order=-1)
+
+
+def test_load_indices_cover_both_operands():
+    dfg = matrix_multiplication(order=2).build()
+    arrays = {op.array for op in dfg.operations_of_type(OpType.LOAD)}
+    assert arrays == {"X", "Y"}
+    stores = dfg.operations_of_type(OpType.STORE)
+    assert {op.index for op in stores} == {0, 1, 2, 3}

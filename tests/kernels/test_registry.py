@@ -1,0 +1,88 @@
+"""Tests for the kernel registry and the Table 3 reference data."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import UnknownKernelError
+from repro.kernels.registry import (
+    ALL_KERNEL_NAMES,
+    DSP_KERNEL_NAMES,
+    LIVERMORE_KERNEL_NAMES,
+    PAPER_TABLE3,
+    dsp_suite,
+    example_kernels,
+    get_kernel,
+    kernel_names,
+    livermore_suite,
+    paper_suite,
+)
+
+
+def test_all_kernel_names_cover_both_tables():
+    assert ALL_KERNEL_NAMES == LIVERMORE_KERNEL_NAMES + DSP_KERNEL_NAMES
+    assert len(ALL_KERNEL_NAMES) == 9
+    assert kernel_names() == list(ALL_KERNEL_NAMES)
+
+
+def test_get_kernel_returns_named_kernel():
+    for name in ALL_KERNEL_NAMES:
+        kernel = get_kernel(name)
+        assert kernel.name == name
+
+
+def test_get_kernel_unknown_name():
+    with pytest.raises(UnknownKernelError):
+        get_kernel("Mandelbrot")
+
+
+def test_get_kernel_returns_fresh_instances():
+    assert get_kernel("MVM") is not get_kernel("MVM")
+
+
+def test_suites_match_paper_tables():
+    assert [kernel.name for kernel in livermore_suite()] == list(LIVERMORE_KERNEL_NAMES)
+    assert [kernel.name for kernel in dsp_suite()] == list(DSP_KERNEL_NAMES)
+    assert [kernel.name for kernel in paper_suite()] == list(ALL_KERNEL_NAMES)
+
+
+def test_paper_table3_reference_consistency():
+    assert set(PAPER_TABLE3) == set(ALL_KERNEL_NAMES)
+    assert PAPER_TABLE3["SAD"].max_multiplications == 0
+    assert PAPER_TABLE3["2D-FDCT"].max_multiplications == 16
+    assert PAPER_TABLE3["Inner product"].operation_set == ("mult", "add")
+
+
+def test_kernel_operation_sets_match_paper_table3():
+    """Our kernels use exactly the computational operations the paper lists.
+
+    The single deliberate deviation is SAD, where the absolute difference is
+    expressed as sub + abs (the paper folds the subtraction into its abs
+    operation), so ``sub`` is tolerated there.
+    """
+    for name in ALL_KERNEL_NAMES:
+        measured = set(get_kernel(name).operation_set_names())
+        expected = set(PAPER_TABLE3[name].operation_set)
+        if name == "SAD":
+            measured.discard("sub")
+        assert measured == expected, name
+
+
+def test_example_kernels_present():
+    names = [kernel.name for kernel in example_kernels()]
+    assert any("MatMul" in name for name in names)
+    assert len(names) >= 2
+
+
+def test_iteration_counts_match_table_headers():
+    expected = {
+        "Hydro": 32,
+        "ICCG": 32,
+        "Tri-diagonal": 64,
+        "Inner product": 128,
+        "State": 16,
+        "MVM": 64,
+        "FFT": 32,
+    }
+    for name, iterations in expected.items():
+        assert get_kernel(name).iterations == iterations

@@ -1,0 +1,81 @@
+"""Tests for configuration-context generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import rs_architecture, rsp_architecture
+from repro.ir import OpType
+from repro.kernels import get_kernel, matrix_multiplication
+from repro.mapping.context_gen import context_statistics, generate_context
+from repro.mapping.loop_pipelining import LoopPipeliningScheduler
+
+
+@pytest.fixture(scope="module")
+def matmul_context(mapper_module):
+    kernel = matrix_multiplication(order=2, constant=3)
+    dfg = kernel.build()
+    schedule = LoopPipeliningScheduler(rsp_architecture(2)).schedule(dfg, kernel_name=kernel.name)
+    return dfg, schedule, generate_context(schedule, dfg)
+
+
+@pytest.fixture(scope="module")
+def mapper_module():
+    from repro.mapping import RSPMapper
+
+    return RSPMapper()
+
+
+def test_context_covers_every_scheduled_operation(matmul_context):
+    dfg, schedule, context = matmul_context
+    assert context.active_word_count() == len(schedule)
+    assert context.num_cycles == max(entry.cycle for entry in schedule.operations()) + 1
+
+
+def test_context_words_carry_opcode_and_memory_target(matmul_context):
+    dfg, schedule, context = matmul_context
+    load_words = [
+        word for _, _, word in context.active_words() if word.opcode is OpType.LOAD
+    ]
+    assert load_words
+    assert all(word.array in ("X", "Y") for word in load_words)
+    store_words = [
+        word for _, _, word in context.active_words() if word.opcode is OpType.STORE
+    ]
+    assert all(word.array == "Z" for word in store_words)
+
+
+def test_shared_multiplications_annotated_with_unit(matmul_context):
+    dfg, schedule, context = matmul_context
+    mul_words = [word for _, _, word in context.active_words() if word.opcode is OpType.MUL]
+    assert mul_words
+    assert all(word.uses_shared_resource for word in mul_words)
+    assert all(word.shared_resource_id is not None for word in mul_words)
+
+
+def test_constant_folded_into_immediate(matmul_context):
+    dfg, schedule, context = matmul_context
+    # The scaling multiplication by C=3 references the constant through the
+    # immediate field rather than through an operand name.
+    mul_words = [word for _, _, word in context.active_words() if word.opcode is OpType.MUL]
+    scaled = [word for word in mul_words if word.immediate == 3]
+    assert scaled
+    assert all(len(word.operands) == 1 for word in scaled)
+
+
+def test_context_statistics(matmul_context):
+    _, schedule, context = matmul_context
+    stats = context_statistics(context)
+    assert stats["cycles"] == float(context.num_cycles)
+    assert stats["active_words"] == float(len(schedule))
+    assert 0.0 < stats["utilisation"] <= 1.0
+    assert stats["storage_bits"] > 0
+
+
+def test_context_on_rs_architecture(mapper_module):
+    kernel = get_kernel("ICCG")
+    result = mapper_module.map_kernel(kernel, rs_architecture(2))
+    context = generate_context(result.schedule, result.dfg)
+    assert context.num_cycles >= result.cycles - 1
+    mults = [word for _, _, word in context.active_words() if word.opcode is OpType.MUL]
+    assert all(word.uses_shared_resource for word in mults)

@@ -1,0 +1,138 @@
+"""Tests for the resource tracker and column-preference helper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import base_architecture, rs_architecture, rsp_architecture
+from repro.errors import PlacementError
+from repro.ir import Operation, OpType
+from repro.mapping.placement import ResourceTracker, column_preference
+
+
+def load_op(name="ld"):
+    return Operation(name, OpType.LOAD, array="x", index=0)
+
+
+def mul_op(name="mul"):
+    return Operation(name, OpType.MUL)
+
+
+class TestPEOccupancy:
+    def test_claim_and_conflict(self, base_arch):
+        tracker = ResourceTracker(base_arch)
+        assert tracker.pe_free(0, 0, 0, duration=2)
+        tracker.claim_pe(0, 0, 0, duration=2, name="a")
+        assert not tracker.pe_free(1, 0, 0, duration=1)
+        assert tracker.pe_free(2, 0, 0, duration=1)
+        with pytest.raises(PlacementError):
+            tracker.claim_pe(1, 0, 0, duration=1, name="b")
+
+
+class TestBusSlots:
+    def test_read_bus_limit(self, base_arch):
+        tracker = ResourceTracker(base_arch)
+        assert tracker.bus_free(0, 0, OpType.LOAD)
+        tracker.claim_bus(0, 0, OpType.LOAD)
+        tracker.claim_bus(0, 0, OpType.LOAD)
+        assert not tracker.bus_free(0, 0, OpType.LOAD)
+        # Other rows and other cycles are unaffected.
+        assert tracker.bus_free(0, 1, OpType.LOAD)
+        assert tracker.bus_free(1, 0, OpType.LOAD)
+
+    def test_write_bus_limit(self, base_arch):
+        tracker = ResourceTracker(base_arch)
+        tracker.claim_bus(0, 0, OpType.STORE)
+        assert not tracker.bus_free(0, 0, OpType.STORE)
+
+    def test_compute_ops_do_not_need_buses(self, base_arch):
+        tracker = ResourceTracker(base_arch)
+        assert tracker.bus_free(0, 0, OpType.ADD)
+
+
+class TestSharedUnits:
+    def test_reachable_units_row_and_column(self):
+        tracker = ResourceTracker(rs_architecture(3))
+        units = tracker.reachable_units(2, 5)
+        assert ("row", 2, 0) in units and ("row", 2, 1) in units
+        assert ("col", 5, 0) in units
+        assert len(units) == 3
+
+    def test_no_units_on_base(self, base_arch):
+        tracker = ResourceTracker(base_arch)
+        assert tracker.reachable_units(0, 0) == []
+
+    def test_allocation_prefers_row_then_column(self):
+        tracker = ResourceTracker(rs_architecture(3))
+        first = tracker.available_shared_unit(0, 2, 5)
+        assert first == ("row", 2, 0)
+        tracker.claim_shared_unit(first, 0, "m1")
+        second = tracker.available_shared_unit(0, 2, 5)
+        assert second == ("row", 2, 1)
+        tracker.claim_shared_unit(second, 0, "m2")
+        third = tracker.available_shared_unit(0, 2, 5)
+        assert third == ("col", 5, 0)
+        tracker.claim_shared_unit(third, 0, "m3")
+        assert tracker.available_shared_unit(0, 2, 5) is None
+        # The next cycle is free again.
+        assert tracker.available_shared_unit(1, 2, 5) == ("row", 2, 0)
+
+    def test_double_claim_rejected(self):
+        tracker = ResourceTracker(rs_architecture(1))
+        unit = tracker.available_shared_unit(0, 0, 0)
+        tracker.claim_shared_unit(unit, 0, "m1")
+        with pytest.raises(PlacementError):
+            tracker.claim_shared_unit(unit, 0, "m2")
+
+    def test_unlimited_mode_never_runs_out(self):
+        tracker = ResourceTracker(rs_architecture(1), unlimited_shared=True)
+        units = {tracker.available_shared_unit(0, 0, 0) for _ in range(20)}
+        assert len(units) == 20
+        # Claims are no-ops in unlimited mode.
+        tracker.claim_shared_unit(("row", 0, 0), 0, "m")
+        tracker.claim_shared_unit(("row", 0, 0), 0, "m2")
+
+
+class TestCombinedFeasibility:
+    def test_multiplication_needs_shared_unit_on_rs(self):
+        tracker = ResourceTracker(rs_architecture(1))
+        feasible, unit = tracker.placement_feasible(mul_op(), 0, 0, 0, duration=1)
+        assert feasible and unit == ("row", 0, 0)
+        tracker.claim(mul_op("m1"), 0, 0, 0, 1, unit)
+        feasible, unit = tracker.placement_feasible(mul_op("m2"), 0, 0, 1, duration=1)
+        assert not feasible
+
+    def test_multiplication_on_base_needs_no_unit(self, base_arch):
+        tracker = ResourceTracker(base_arch)
+        feasible, unit = tracker.placement_feasible(mul_op(), 0, 0, 0, duration=1)
+        assert feasible and unit is None
+
+    def test_load_blocked_by_bus(self, base_arch):
+        tracker = ResourceTracker(base_arch)
+        tracker.claim(load_op("l1"), 0, 0, 0, 1, None)
+        tracker.claim(load_op("l2"), 0, 0, 1, 1, None)
+        feasible, _ = tracker.placement_feasible(load_op("l3"), 0, 0, 2, duration=1)
+        assert not feasible
+
+    def test_mult_row_balancing_counter(self, base_arch):
+        tracker = ResourceTracker(base_arch)
+        assert tracker.multiplications_in_row(0, 3) == 0
+        tracker.claim(mul_op("m1"), 0, 3, 0, 1, None)
+        assert tracker.multiplications_in_row(0, 3) == 1
+        tracker.claim(mul_op("m2"), 0, 3, 1, 1, None)
+        assert tracker.multiplications_in_row(0, 3) == 2
+
+
+class TestColumnPreference:
+    def test_preferred_column_first(self):
+        assert column_preference(0, 4)[0] == 0
+        assert column_preference(5, 4)[0] == 1
+
+    def test_all_columns_visited_once(self):
+        order = column_preference(3, 8)
+        assert sorted(order) == list(range(8))
+        assert len(order) == 8
+
+    def test_invalid_column_count(self):
+        with pytest.raises(PlacementError):
+            column_preference(0, 0)

@@ -1,0 +1,121 @@
+"""Tests for the RS/RP configuration-context rearrangement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import base_architecture, rs_architecture, rsp_architecture
+from repro.ir import DFGBuilder
+from repro.kernels import get_kernel
+from repro.mapping.loop_pipelining import LoopPipeliningScheduler
+from repro.mapping.rearrange import (
+    RearrangementResult,
+    evaluate_rearrangement,
+    rearrange_schedule,
+    remap_schedule,
+)
+
+
+def mult_burst_dfg(count: int = 24):
+    """Independent MACs whose multiplications all become ready together."""
+    builder = DFGBuilder("burst")
+    for index in range(count):
+        builder.set_iteration(index)
+        a = builder.load("x", index)
+        b = builder.load("y", index)
+        product = builder.mul(a, b)
+        builder.store("z", index, product)
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def burst_base():
+    dfg = mult_burst_dfg()
+    schedule = LoopPipeliningScheduler(base_architecture()).schedule(dfg, kernel_name="burst")
+    return dfg, schedule
+
+
+def test_rearranged_schedule_is_valid_on_target(burst_base):
+    dfg, base_schedule = burst_base
+    for target in (rs_architecture(1), rs_architecture(4), rsp_architecture(1), rsp_architecture(2)):
+        rearranged = rearrange_schedule(base_schedule, dfg, target)
+        rearranged.validate(dfg)
+        assert len(rearranged) == len(base_schedule)
+
+
+def test_rearrangement_keeps_placements(burst_base):
+    dfg, base_schedule = burst_base
+    rearranged = rearrange_schedule(base_schedule, dfg, rs_architecture(1))
+    for entry in base_schedule.operations():
+        assert rearranged.get(entry.name).position == entry.position
+
+
+def test_rearrangement_never_schedules_earlier_than_base(burst_base):
+    dfg, base_schedule = burst_base
+    rearranged = rearrange_schedule(base_schedule, dfg, rsp_architecture(2))
+    for entry in base_schedule.operations():
+        assert rearranged.get(entry.name).cycle >= entry.cycle
+
+
+def test_rs_capacity_ordering(burst_base):
+    dfg, base_schedule = burst_base
+    lengths = [
+        rearrange_schedule(base_schedule, dfg, rs_architecture(design)).length
+        for design in range(1, 5)
+    ]
+    # More shared multipliers never make the schedule longer.
+    assert lengths == sorted(lengths, reverse=True)
+    assert lengths[0] >= base_schedule.length
+
+
+def test_unlimited_shared_rs_reproduces_base_length(burst_base):
+    dfg, base_schedule = burst_base
+    stall_free = rearrange_schedule(
+        base_schedule, dfg, rs_architecture(1), unlimited_shared=True
+    )
+    assert stall_free.length == base_schedule.length
+
+
+def test_evaluate_rearrangement_stall_accounting(burst_base):
+    dfg, base_schedule = burst_base
+    result = evaluate_rearrangement(base_schedule, dfg, rs_architecture(1))
+    assert isinstance(result, RearrangementResult)
+    assert result.base_cycles == base_schedule.length
+    assert result.stall_free_cycles == base_schedule.length
+    assert result.cycles == result.stall_free_cycles + result.stall_cycles
+    assert result.stall_cycles >= 0
+
+
+def test_evaluate_rearrangement_base_is_identity(burst_base):
+    dfg, base_schedule = burst_base
+    result = evaluate_rearrangement(base_schedule, dfg, base_architecture())
+    assert result.cycles == base_schedule.length
+    assert result.stall_cycles == 0
+    assert result.pipeline_overhead_cycles == 0
+
+
+def test_rsp_pipeline_overhead_separated_from_stalls(burst_base):
+    dfg, base_schedule = burst_base
+    result = evaluate_rearrangement(base_schedule, dfg, rsp_architecture(4))
+    # RSP#4 has plenty of multipliers: the extra cycles are pipeline overhead,
+    # not resource-lack stalls.
+    assert result.pipeline_overhead_cycles >= 0
+    assert result.stall_cycles <= 1
+
+
+def test_rsp_relaxes_sharing_pressure_vs_rs(mapper):
+    """Same sharing topology: the RSP design stalls no more than the RS design."""
+    kernel = get_kernel("2D-FDCT")
+    rs_result = mapper.map_kernel(kernel, rs_architecture(2))
+    rsp_result = mapper.map_kernel(kernel, rsp_architecture(2))
+    assert rsp_result.stall_cycles <= rs_result.stall_cycles
+
+
+def test_remap_schedule_not_worse_than_rearrangement(burst_base):
+    """Free placement (full re-mapping) never needs more cycles than rearrangement."""
+    dfg, base_schedule = burst_base
+    target = rs_architecture(1)
+    rearranged = rearrange_schedule(base_schedule, dfg, target)
+    remapped = remap_schedule(dfg, target, kernel_name="burst")
+    remapped.validate(dfg)
+    assert remapped.length <= rearranged.length

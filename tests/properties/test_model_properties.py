@@ -1,0 +1,115 @@
+"""Property-based tests on the cost/timing models and the design space."""
+
+from __future__ import annotations
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    ArchitectureSpec,
+    PipeliningSpec,
+    SharingTopology,
+    base_architecture,
+    default_array_spec,
+)
+from repro.core import HardwareCostModel, TimingModel
+from repro.core.rsp_params import RSPParameters
+
+cost_model = HardwareCostModel()
+timing_model = TimingModel()
+
+
+@st.composite
+def sharing_design(draw):
+    """A random sharing/pipelining design point on the 8x8 array."""
+    rows_shared = draw(st.integers(min_value=0, max_value=3))
+    cols_shared = draw(st.integers(min_value=0, max_value=3))
+    assume(rows_shared + cols_shared > 0)
+    stages = draw(st.integers(min_value=1, max_value=4))
+    return ArchitectureSpec(
+        name=f"gen(shr={rows_shared},shc={cols_shared},st={stages})",
+        array=default_array_spec(),
+        sharing=SharingTopology(rows_shared=rows_shared, cols_shared=cols_shared),
+        pipelining=PipeliningSpec(stages=stages),
+    )
+
+
+@given(sharing_design())
+@settings(max_examples=60, deadline=None)
+def test_area_breakdown_components_sum_to_total(spec):
+    breakdown = cost_model.breakdown(spec)
+    assert breakdown.array_total > 0
+    assert breakdown.array_total == (
+        breakdown.pe_total
+        + breakdown.switch_total
+        + breakdown.register_total
+        + breakdown.shared_total
+    )
+
+
+@given(sharing_design())
+@settings(max_examples=60, deadline=None)
+def test_shared_pe_is_smaller_than_full_pe(spec):
+    assert cost_model.shared_pe_area(spec) < cost_model.full_pe_area()
+
+
+@given(sharing_design())
+@settings(max_examples=60, deadline=None)
+def test_critical_path_is_positive_and_bounded(spec):
+    period = timing_model.critical_path_ns(spec)
+    assert 0 < period < 100
+    # A pipelined design never has a longer critical path than its
+    # combinational counterpart with the same sharing topology.
+    combinational = ArchitectureSpec(
+        name="comb",
+        array=spec.array,
+        sharing=spec.sharing,
+        pipelining=PipeliningSpec(stages=1),
+    )
+    if spec.pipelining.is_pipelined:
+        assert period <= timing_model.critical_path_ns(combinational) + 1e-9
+
+
+@given(sharing_design())
+@settings(max_examples=60, deadline=None)
+def test_adding_shared_resources_adds_area(spec):
+    richer = ArchitectureSpec(
+        name="richer",
+        array=spec.array,
+        sharing=SharingTopology(
+            rows_shared=spec.sharing.rows_shared + 1, cols_shared=spec.sharing.cols_shared
+        ),
+        pipelining=spec.pipelining,
+    )
+    assert cost_model.array_area(richer) > cost_model.array_area(spec)
+
+
+@given(
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=60, deadline=None)
+def test_rsp_parameters_round_trip_through_architecture(rows_shared, cols_shared, stages):
+    assume(rows_shared + cols_shared > 0)
+    parameters = RSPParameters(
+        shared_resources=("array_multiplier",),
+        pipelined_resources=("array_multiplier",) if stages > 1 else (),
+        pipeline_stages=stages,
+        rows_shared=rows_shared,
+        cols_shared=cols_shared,
+    )
+    spec = parameters.to_architecture()
+    assert spec.sharing.rows_shared == rows_shared
+    assert spec.sharing.cols_shared == cols_shared
+    assert spec.multiplier_latency == (stages if stages > 1 else 1)
+    assert spec.kind == parameters.kind
+
+
+@given(sharing_design())
+@settings(max_examples=40, deadline=None)
+def test_area_reduction_consistent_with_absolute_areas(spec):
+    base = base_architecture()
+    reduction = cost_model.area_reduction_percent(spec, base)
+    smaller = cost_model.array_area(spec) < cost_model.array_area(base)
+    assert (reduction > 0) == smaller

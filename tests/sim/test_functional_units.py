@@ -1,0 +1,86 @@
+"""Tests for the functional-unit arithmetic behaviour."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.ir import OpType
+from repro.sim.functional_units import FunctionalUnitBehaviour
+
+
+@pytest.fixture
+def behaviour():
+    return FunctionalUnitBehaviour(width_bits=16, wrap=False)
+
+
+@pytest.fixture
+def wrapping():
+    return FunctionalUnitBehaviour(width_bits=16, wrap=True)
+
+
+def test_basic_arithmetic(behaviour):
+    assert behaviour.execute(OpType.ADD, [3, 4]) == 7
+    assert behaviour.execute(OpType.SUB, [3, 4]) == -1
+    assert behaviour.execute(OpType.MUL, [6, 7]) == 42
+    assert behaviour.execute(OpType.ABS, [-9]) == 9
+    assert behaviour.execute(OpType.MIN, [2, 5]) == 2
+    assert behaviour.execute(OpType.MAX, [2, 5]) == 5
+    assert behaviour.execute(OpType.MOV, [11]) == 11
+
+
+def test_logical_operations(behaviour):
+    assert behaviour.execute(OpType.AND, [0b1100, 0b1010]) == 0b1000
+    assert behaviour.execute(OpType.OR, [0b1100, 0b1010]) == 0b1110
+    assert behaviour.execute(OpType.XOR, [0b1100, 0b1010]) == 0b0110
+
+
+def test_shift_directions(behaviour):
+    assert behaviour.execute(OpType.SHIFT, [3], immediate=2) == 12
+    assert behaviour.execute(OpType.SHIFT, [12], immediate=-2) == 3
+
+
+def test_shift_requires_immediate(behaviour):
+    with pytest.raises(SimulationError):
+        behaviour.execute(OpType.SHIFT, [3])
+
+
+def test_const_uses_immediate(behaviour):
+    assert behaviour.execute(OpType.CONST, [], immediate=5) == 5
+    with pytest.raises(SimulationError):
+        behaviour.execute(OpType.CONST, [])
+
+
+def test_operand_count_checked(behaviour):
+    with pytest.raises(SimulationError):
+        behaviour.execute(OpType.ADD, [1])
+    with pytest.raises(SimulationError):
+        behaviour.execute(OpType.ABS, [1, 2])
+
+
+def test_memory_ops_not_executable(behaviour):
+    with pytest.raises(SimulationError):
+        behaviour.execute(OpType.LOAD, [])
+    with pytest.raises(SimulationError):
+        behaviour.execute(OpType.STORE, [1])
+
+
+def test_wrapping_addition(wrapping):
+    assert wrapping.execute(OpType.ADD, [32767, 1]) == -32768
+    assert wrapping.execute(OpType.SUB, [-32768, 1]) == 32767
+
+
+def test_product_has_double_width(wrapping):
+    # 300 * 300 = 90000 fits in 32 bits, so it must NOT wrap at 16 bits.
+    assert wrapping.execute(OpType.MUL, [300, 300]) == 90000
+    # But it wraps at 32 bits.
+    assert wrapping.execute(OpType.MUL, [65535, 65535]) != 65535 * 65535
+
+
+def test_no_wrap_mode_keeps_exact_values(behaviour):
+    assert behaviour.execute(OpType.MUL, [65535, 65535]) == 65535 * 65535
+
+
+def test_invalid_width_rejected():
+    with pytest.raises(SimulationError):
+        FunctionalUnitBehaviour(width_bits=0)

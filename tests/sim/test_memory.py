@@ -1,0 +1,71 @@
+"""Tests for the data-memory model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.memory import DataMemory
+
+
+def test_initialise_and_load():
+    memory = DataMemory({"x": [1, 2, 3]})
+    assert memory.load("x", 0) == 1
+    assert memory.load("x", 2) == 3
+    assert memory.load_count == 2
+
+
+def test_default_value_for_missing_elements():
+    memory = DataMemory({"x": [1]}, default_value=7)
+    assert memory.load("x", 10) == 7
+    assert memory.load("nonexistent", 0) == 7
+
+
+def test_strict_mode_rejects_unknown_arrays():
+    memory = DataMemory(strict=True)
+    with pytest.raises(SimulationError):
+        memory.load("ghost", 0)
+    with pytest.raises(SimulationError):
+        memory.as_list("ghost")
+    memory.declare("known")
+    assert memory.load("known", 0) == 0
+
+
+def test_store_and_counters():
+    memory = DataMemory()
+    memory.store("y", 3, 42)
+    assert memory.store_count == 1
+    assert memory.load("y", 3) == 42
+    assert memory.value("y", 3) == 42
+    # value() does not count as a bus access.
+    assert memory.load_count == 1
+
+
+def test_as_list_dense_representation():
+    memory = DataMemory()
+    memory.store("y", 0, 5)
+    memory.store("y", 2, 7)
+    assert memory.as_list("y") == [5, 0, 7]
+    assert memory.as_list("y", length=5) == [5, 0, 7, 0, 0]
+    assert memory.as_list("missing") == []
+
+
+def test_arrays_listing():
+    memory = DataMemory({"b": [1], "a": [2]})
+    assert memory.arrays() == ["a", "b"]
+
+
+def test_copy_is_independent():
+    memory = DataMemory({"x": [1, 2]})
+    clone = memory.copy()
+    clone.store("x", 0, 99)
+    assert memory.value("x", 0) == 1
+    assert clone.value("x", 0) == 99
+    assert clone.load_count == 0
+
+
+def test_values_coerced_to_int():
+    memory = DataMemory({"x": [1.0, 2.0]})
+    assert memory.load("x", 1) == 2
+    memory.store("x", 0, 3.0)
+    assert isinstance(memory.value("x", 0), int)

@@ -1,0 +1,130 @@
+"""Tests for the cycle-accurate functional simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import base_architecture, rsp_architecture
+from repro.errors import SimulationError
+from repro.ir import DFGBuilder, OpType
+from repro.mapping.loop_pipelining import LoopPipeliningScheduler
+from repro.mapping.schedule import Schedule, ScheduledOperation
+from repro.sim import ArraySimulator, DataMemory
+
+
+def mac_dfg():
+    builder = DFGBuilder("mac")
+    a = builder.load("x", 0)
+    b = builder.load("y", 0)
+    c = builder.mul(a, b)
+    k = builder.const(10)
+    d = builder.add(c, k)
+    builder.store("z", 0, d)
+    return builder.build()
+
+
+def schedule_of(dfg, architecture):
+    return LoopPipeliningScheduler(architecture).schedule(dfg, kernel_name=dfg.name)
+
+
+def test_simple_mac_result(base_arch):
+    dfg = mac_dfg()
+    schedule = schedule_of(dfg, base_arch)
+    memory = DataMemory({"x": [6], "y": [7]})
+    result = ArraySimulator().run(schedule, dfg, memory)
+    assert result.memory.value("z", 0) == 6 * 7 + 10
+    assert result.cycles == schedule.length
+    assert result.executed_operations == len(schedule)
+
+
+def test_simulation_respects_pipelined_multiplier(rsp2_arch):
+    dfg = mac_dfg()
+    schedule = schedule_of(dfg, rsp2_arch)
+    memory = DataMemory({"x": [3], "y": [4]})
+    result = ArraySimulator().run(schedule, dfg, memory)
+    assert result.memory.value("z", 0) == 22
+    # The multiplication's trace event carries its shared-unit binding.
+    mul_events = result.trace.events_of_type(OpType.MUL)
+    assert len(mul_events) == 1
+    assert mul_events[0].shared_unit is not None
+
+
+def test_values_exposed_per_operation(base_arch):
+    dfg = mac_dfg()
+    schedule = schedule_of(dfg, base_arch)
+    result = ArraySimulator().run(schedule, dfg, DataMemory({"x": [2], "y": [5]}))
+    mul_name = dfg.operations_of_type(OpType.MUL)[0].name
+    assert result.value_of(mul_name) == 10
+    with pytest.raises(SimulationError):
+        result.value_of("ghost")
+
+
+def test_subtraction_operand_order_preserved(base_arch):
+    builder = DFGBuilder()
+    a = builder.load("x", 0)
+    b = builder.load("y", 0)
+    diff = builder.sub(a, b)
+    builder.store("z", 0, diff)
+    dfg = builder.build()
+    schedule = schedule_of(dfg, base_arch)
+    result = ArraySimulator().run(schedule, dfg, DataMemory({"x": [10], "y": [3]}))
+    assert result.memory.value("z", 0) == 7
+
+
+def test_shift_and_abs(base_arch):
+    builder = DFGBuilder()
+    a = builder.load("x", 0)
+    shifted = builder.shift(a, -1)
+    b = builder.load("y", 0)
+    difference = builder.sub(shifted, b)
+    absolute = builder.abs(difference)
+    builder.store("z", 0, absolute)
+    dfg = builder.build()
+    schedule = schedule_of(dfg, base_arch)
+    result = ArraySimulator().run(schedule, dfg, DataMemory({"x": [8], "y": [9]}))
+    assert result.memory.value("z", 0) == abs(8 // 2 - 9)
+
+
+def test_dependence_violation_caught_at_runtime(base_arch):
+    """A hand-built schedule that consumes a value too early is rejected."""
+    dfg = mac_dfg()
+    bad = Schedule(base_arch, "bad")
+    by_type = {op.optype: op for op in dfg.operations()}
+    bad.add(ScheduledOperation(operation=by_type[OpType.MUL], cycle=0, row=0, col=0))
+    loads = dfg.operations_of_type(OpType.LOAD)
+    bad.add(ScheduledOperation(operation=loads[0], cycle=0, row=1, col=0))
+    bad.add(ScheduledOperation(operation=loads[1], cycle=0, row=2, col=0))
+    bad.add(ScheduledOperation(operation=by_type[OpType.ADD], cycle=1, row=0, col=0))
+    bad.add(ScheduledOperation(operation=by_type[OpType.STORE], cycle=2, row=0, col=0))
+    with pytest.raises(SimulationError):
+        ArraySimulator().run(bad, dfg, DataMemory({"x": [1], "y": [1]}), validate=False)
+
+
+def test_validation_rejects_illegal_schedule_before_running(base_arch):
+    dfg = mac_dfg()
+    incomplete = Schedule(base_arch, "incomplete")
+    loads = dfg.operations_of_type(OpType.LOAD)
+    incomplete.add(ScheduledOperation(operation=loads[0], cycle=0, row=0, col=0))
+    with pytest.raises(Exception):
+        ArraySimulator().run(incomplete, dfg, DataMemory())
+
+
+def test_trace_contents(base_arch):
+    dfg = mac_dfg()
+    schedule = schedule_of(dfg, base_arch)
+    result = ArraySimulator().run(schedule, dfg, DataMemory({"x": [1], "y": [2]}))
+    trace = result.trace
+    assert len(trace) == len(schedule)
+    assert trace.events_at(0)
+    busiest_cycle, count = trace.busiest_cycle()
+    assert count >= 1
+    text = trace.format(max_events=3)
+    assert "cycle" in text
+    assert len(text.splitlines()) == 3
+
+
+def test_missing_memory_defaults_to_zero(base_arch):
+    dfg = mac_dfg()
+    schedule = schedule_of(dfg, base_arch)
+    result = ArraySimulator().run(schedule, dfg)
+    assert result.memory.value("z", 0) == 10  # 0*0 + 10

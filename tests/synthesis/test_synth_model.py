@@ -1,0 +1,73 @@
+"""Tests for the analytical synthesis surrogate (Table 2 regeneration)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import base_architecture, rs_architecture, rsp_architecture
+from repro.synthesis.synth_model import SynthesisEstimate, SynthesisSurrogate
+
+
+def test_estimates_cover_all_nine_designs(surrogate):
+    estimates = surrogate.estimate_paper_designs()
+    assert [estimate.architecture for estimate in estimates] == [
+        "Base", "RS#1", "RS#2", "RS#3", "RS#4", "RSP#1", "RSP#2", "RSP#3", "RSP#4",
+    ]
+    assert all(estimate.paper is not None for estimate in estimates)
+
+
+def test_estimates_by_name_lookup(surrogate):
+    by_name = surrogate.estimates_by_name()
+    assert by_name["RSP#2"].architecture == "RSP#2"
+    assert len(by_name) == 9
+
+
+def test_area_errors_within_fifteen_percent(surrogate):
+    for estimate in surrogate.estimate_paper_designs():
+        assert estimate.area_error_percent is not None
+        assert abs(estimate.area_error_percent) < 15.0, estimate.architecture
+
+
+def test_delay_errors_within_ten_percent(surrogate):
+    for estimate in surrogate.estimate_paper_designs():
+        assert abs(estimate.delay_error_percent) < 10.0, estimate.architecture
+
+
+def test_reduction_orderings_match_paper(surrogate):
+    """Whoever wins in the paper wins in the model too."""
+    by_name = surrogate.estimates_by_name()
+    # Area: RS#1 < RS#2 < ... and RSP#k slightly above RS#k.
+    for design in range(1, 4):
+        assert by_name[f"RS#{design}"].array_area_slices < by_name[f"RS#{design + 1}"].array_area_slices
+        assert by_name[f"RSP#{design}"].array_area_slices < by_name[f"RSP#{design + 1}"].array_area_slices
+    for design in range(1, 5):
+        assert by_name[f"RS#{design}"].array_area_slices < by_name[f"RSP#{design}"].array_area_slices
+    # Delay: every RSP design beats the base, every RS design is slower.
+    base_delay = by_name["Base"].array_delay_ns
+    for design in range(1, 5):
+        assert by_name[f"RS#{design}"].array_delay_ns > base_delay
+        assert by_name[f"RSP#{design}"].array_delay_ns < base_delay
+
+
+def test_base_estimate_has_no_switch(surrogate):
+    base = surrogate.estimate(base_architecture())
+    assert base.switch_area_slices == 0.0
+    assert base.switch_delay_ns == 0.0
+    assert base.area_reduction_percent == pytest.approx(0.0)
+    assert base.delay_reduction_percent == pytest.approx(0.0)
+
+
+def test_estimate_without_paper_reference():
+    surrogate = SynthesisSurrogate()
+    custom = rs_architecture(2, rows=4, cols=4).with_name("RS-4x4")
+    estimate = surrogate.estimate(custom, base=base_architecture(4, 4))
+    assert estimate.paper is None
+    assert estimate.area_error_percent is None
+    assert estimate.array_area_slices > 0
+
+
+def test_pipelined_pe_delay_reported_for_rsp(surrogate):
+    estimate = surrogate.estimate(rsp_architecture(1))
+    assert estimate.pe_delay_ns == pytest.approx(15.3)
+    rs_estimate = surrogate.estimate(rs_architecture(1))
+    assert rs_estimate.pe_delay_ns == pytest.approx(25.6)

@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+def test_all_errors_derive_from_repro_error():
+    for name in dir(errors):
+        obj = getattr(errors, name)
+        if isinstance(obj, type) and issubclass(obj, Exception) and obj is not Exception:
+            assert issubclass(obj, errors.ReproError)
+
+
+def test_specific_errors_are_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.SchedulingError("boom")
+
+
+def test_hierarchy_relationships():
+    assert issubclass(errors.DFGValidationError, errors.DFGError)
+    assert issubclass(errors.UnknownOperationError, errors.DFGError)
+    assert issubclass(errors.UnknownKernelError, errors.KernelError)
+    assert issubclass(errors.SchedulingError, errors.MappingError)
+    assert issubclass(errors.PlacementError, errors.MappingError)
+    assert issubclass(errors.ComponentError, errors.ArchitectureError)
+
+
+def test_errors_carry_messages():
+    error = errors.MappingError("kernel does not fit")
+    assert "kernel does not fit" in str(error)

@@ -1,0 +1,62 @@
+"""Tests for JSON serialisation helpers."""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import json
+from pathlib import Path
+
+from repro.utils.serialization import dataclass_to_dict, from_json, to_json
+
+
+class Colour(enum.Enum):
+    RED = "red"
+    BLUE = "blue"
+
+
+@dataclasses.dataclass
+class Inner:
+    value: int
+    colour: Colour
+
+
+@dataclasses.dataclass
+class Outer:
+    name: str
+    items: list
+    inner: Inner
+    path: Path
+
+
+def make_outer() -> Outer:
+    return Outer(name="x", items=[1, 2, (3, 4)], inner=Inner(5, Colour.RED), path=Path("/tmp/a"))
+
+
+def test_dataclass_to_dict_recurses():
+    payload = dataclass_to_dict(make_outer())
+    assert payload["name"] == "x"
+    assert payload["items"] == [1, 2, [3, 4]]
+    assert payload["inner"] == {"value": 5, "colour": "RED"}
+    assert payload["path"] == "/tmp/a"
+
+
+def test_to_json_round_trips_through_json_module():
+    text = to_json(make_outer())
+    parsed = json.loads(text)
+    assert parsed["inner"]["colour"] == "RED"
+
+
+def test_from_json_inverse_of_to_json_for_plain_data():
+    data = {"a": [1, 2, 3], "b": {"c": None}}
+    assert from_json(to_json(data)) == data
+
+
+def test_dataclass_to_dict_handles_sets():
+    assert sorted(dataclass_to_dict({1, 2, 3})) == [1, 2, 3]
+
+
+def test_dataclass_to_dict_passes_scalars_through():
+    assert dataclass_to_dict(42) == 42
+    assert dataclass_to_dict("text") == "text"
+    assert dataclass_to_dict(None) is None

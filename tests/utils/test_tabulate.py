@@ -1,0 +1,54 @@
+"""Tests for the text-table formatting helpers."""
+
+from __future__ import annotations
+
+from repro.utils.tabulate import format_markdown_table, format_table
+
+
+def test_format_table_aligns_columns():
+    text = format_table(
+        [["a", 1, 2.5], ["long-name", 10, 3.25]],
+        headers=["name", "count", "value"],
+    )
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "---" in lines[1]
+    assert len(lines) == 4
+    # Columns align: "count" values start at the same offset.
+    assert lines[2].index("1") == lines[3].index("10")
+
+
+def test_format_table_handles_none_and_bools():
+    text = format_table([[None, True, False]])
+    assert "-" in text
+    assert "yes" in text
+    assert "no" in text
+
+
+def test_format_table_float_format():
+    text = format_table([[3.14159]], float_format=".1f")
+    assert "3.1" in text
+    assert "3.14" not in text
+
+
+def test_format_table_title():
+    text = format_table([[1]], title="My Table")
+    assert text.splitlines()[0] == "My Table"
+
+
+def test_format_table_empty_rows():
+    assert format_table([]) == ""
+
+
+def test_format_markdown_table_structure():
+    text = format_markdown_table([[1, 2], [3, 4]], headers=["a", "b"])
+    lines = text.splitlines()
+    assert lines[0] == "| a | b |"
+    assert set(lines[1]) <= {"|", "-", " "}
+    assert lines[2] == "| 1 | 2 |"
+    assert len(lines) == 4
+
+
+def test_format_markdown_table_escapes_nothing_but_renders_none():
+    text = format_markdown_table([[None]], headers=["x"])
+    assert "| - |" in text
