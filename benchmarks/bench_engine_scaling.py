@@ -1,0 +1,131 @@
+"""Benchmark: engine scaling — executors, cache hits and early reject.
+
+Runs the nine-kernel paper domain over an enlarged candidate grid
+(``shr``/``shc`` in 0..7, pipeline stages in {1, 2, 3, 4} — 253
+candidates) through the exploration engine and compares:
+
+* the serial backend against the process-pool backend,
+* a cold cache against a warm cache (the second sweep must be served
+  entirely from the JSON-lines store),
+* the full sweep against the dominance-based early-reject filter.
+
+All configurations must select the same design point as the seed's serial
+``explore``.  The wall-clock assertion for the parallel backend only
+applies on multi-core machines; single-core CI still checks parity,
+cache-hit behaviour and the evaluation counts, which are deterministic.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core.exploration import RSPDesignSpaceExplorer
+from repro.core.rsp_params import enumerate_design_space
+from repro.engine.cache import EvaluationCache
+from repro.engine.executor import ExecutorConfig, run_exploration
+from repro.kernels import paper_suite
+from repro.mapping.profile import extract_profile
+from repro.utils.tabulate import format_table
+
+
+@pytest.fixture(scope="module")
+def scaling_grid():
+    grid = enumerate_design_space(
+        max_rows_shared=7, max_cols_shared=7, stage_options=(1, 2, 3, 4)
+    )
+    assert len(grid) >= 200
+    return grid
+
+
+@pytest.fixture(scope="module")
+def paper_explorer(mapper):
+    profiles = {}
+    for kernel in paper_suite():
+        result = mapper.map_kernel(kernel, mapper.base)
+        profiles[kernel.name] = extract_profile(result.base_schedule, result.dfg)
+    return RSPDesignSpaceExplorer(profiles)
+
+
+def timed_run(explorer, grid, **kwargs):
+    started = time.perf_counter()
+    outcome = run_exploration(explorer, candidates=grid, **kwargs)
+    return outcome, time.perf_counter() - started
+
+
+def test_engine_scaling_on_enlarged_grid(paper_explorer, scaling_grid, tmp_path):
+    explorer, grid = paper_explorer, scaling_grid
+
+    # Reference: the seed-equivalent serial sweep (facade semantics).
+    serial, serial_seconds = timed_run(explorer, grid)
+    reference_selected = serial.result.selected.parameters
+    reference_front = [e.parameters for e in serial.result.pareto]
+
+    # Parallel process backend.
+    workers = min(4, os.cpu_count() or 1)
+    parallel, parallel_seconds = timed_run(
+        explorer,
+        grid,
+        config=ExecutorConfig(backend="process", workers=max(workers, 2), chunk_size=16),
+    )
+
+    # Cold then warm persistent cache.
+    cache_path = tmp_path / "evals.jsonl"
+    cold, cold_seconds = timed_run(explorer, grid, cache=EvaluationCache(cache_path))
+    warm, warm_seconds = timed_run(explorer, grid, cache=EvaluationCache(cache_path))
+
+    # Dominance-based early reject.
+    rejecting, reject_seconds = timed_run(explorer, grid, early_reject=True)
+
+    rows = [
+        ["serial", serial.stats.evaluated, "-", "-", round(serial_seconds, 3)],
+        [
+            f"process x{parallel.stats.workers}",
+            parallel.stats.evaluated,
+            "-",
+            "-",
+            round(parallel_seconds, 3),
+        ],
+        ["cache cold", cold.stats.evaluated, cold.stats.cache_hits,
+         cold.stats.cache_misses, round(cold_seconds, 3)],
+        ["cache warm", warm.stats.evaluated, warm.stats.cache_hits,
+         warm.stats.cache_misses, round(warm_seconds, 3)],
+        ["early reject", rejecting.stats.evaluated, "-", "-", round(reject_seconds, 3)],
+    ]
+    print()
+    print(
+        format_table(
+            rows,
+            headers=["configuration", "evaluated", "hits", "misses", "seconds"],
+            title=f"engine scaling over {len(grid)} candidates, nine-kernel domain",
+        )
+    )
+    print(
+        f"selected: {reference_selected.describe()}  "
+        f"(front size {len(reference_front)}, early-rejected "
+        f"{len(rejecting.rejected)} candidates)"
+    )
+
+    # Every configuration agrees with the seed-equivalent serial sweep.
+    for outcome in (parallel, cold, warm, rejecting):
+        assert outcome.result.selected.parameters == reference_selected
+        assert [e.parameters for e in outcome.result.pareto] == reference_front
+
+    # The warm cache serves the whole sweep without a single evaluation.
+    assert warm.stats.evaluated == 0
+    assert warm.stats.cache_misses == 0
+    assert warm.stats.cache_hit_rate == 1.0
+    assert warm_seconds < serial_seconds
+
+    # Early reject prunes a substantial share of the expensive evaluations.
+    assert rejecting.stats.early_rejected > len(grid) * 0.3
+    assert rejecting.stats.evaluated < serial.stats.evaluated
+
+    # The parallel backend evaluates the same jobs; on a multi-core host it
+    # must also win on wall clock (meaningless under a single core, where
+    # process workers just time-slice).
+    assert parallel.stats.evaluated == serial.stats.evaluated
+    if (os.cpu_count() or 1) >= 2:
+        assert parallel_seconds < serial_seconds

@@ -12,7 +12,9 @@ The package is organised as:
 * :mod:`repro.sim`       — a cycle-accurate functional simulator,
 * :mod:`repro.synthesis` — the analytical synthesis surrogate and published reference data,
 * :mod:`repro.eval`      — regeneration of the paper's tables and figures,
-* :mod:`repro.flow`      — the end-to-end RSP design flow of paper Figure 7.
+* :mod:`repro.flow`      — the end-to-end RSP design flow of paper Figure 7,
+* :mod:`repro.engine`    — parallel, cache-backed exploration campaigns
+  (``python -m repro.engine``).
 
 Quick start::
 

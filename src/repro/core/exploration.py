@@ -21,16 +21,19 @@ mapping" after "RSP exploration").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.arch.array import ArraySpec
-from repro.arch.template import ArchitectureSpec, base_architecture, default_array_spec
+from repro.arch.template import ArchitectureSpec, default_array_spec
 from repro.core.cost_model import HardwareCostModel
-from repro.core.pareto import knee_point, pareto_front
-from repro.core.rsp_params import RSPParameters, enumerate_design_space
+from repro.core.rsp_params import RSPParameters
 from repro.core.stalls import ScheduleProfile, StallEstimate, StallEstimator
 from repro.core.timing_model import TimingModel
 from repro.errors import ExplorationError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.engine.cache import EvaluationCache
+    from repro.engine.executor import ExecutorConfig
 
 
 @dataclass(frozen=True)
@@ -183,48 +186,31 @@ class RSPDesignSpaceExplorer:
         self,
         candidates: Optional[Sequence[RSPParameters]] = None,
         constraints: Optional[ExplorationConstraints] = None,
+        *,
+        executor: Optional["ExecutorConfig"] = None,
+        cache: Optional["EvaluationCache"] = None,
     ) -> ExplorationResult:
-        """Run the exploration over ``candidates`` (defaults to the standard sweep)."""
-        constraints = constraints or ExplorationConstraints()
-        candidate_list = list(candidates) if candidates is not None else enumerate_design_space()
-        from repro.core.rsp_params import base_parameters
+        """Run the exploration over ``candidates`` (defaults to the standard sweep).
 
-        base_evaluation = self.evaluate(base_parameters(), name="Base")
-        evaluated: List[DesignPointEvaluation] = []
-        for index, parameters in enumerate(candidate_list):
-            if parameters.kind == "base":
-                evaluated.append(base_evaluation)
-                continue
-            evaluated.append(self.evaluate(parameters))
+        This is a facade over :func:`repro.engine.executor.run_exploration`:
+        the engine evaluates the candidates (batched, optionally through a
+        parallel backend and a persistent cache), applies the feasibility
+        constraints, keeps the Pareto points and selects the knee.  The
+        base point is evaluated exactly once, even when it appears in the
+        candidate list.  Pass ``executor``/``cache`` to opt into parallel
+        or memoised evaluation; campaign-level features (early reject,
+        reports, the CLI) live in :mod:`repro.engine`.
+        """
+        from repro.engine.executor import run_exploration
 
-        feasible = [
-            evaluation
-            for evaluation in evaluated
-            if self._is_feasible(evaluation, base_evaluation, constraints)
-        ]
-        pareto = pareto_front(
-            feasible,
-            objectives=(
-                lambda evaluation: evaluation.area_slices,
-                lambda evaluation: evaluation.total_execution_time_ns,
-            ),
+        outcome = run_exploration(
+            self,
+            candidates=candidates,
+            constraints=constraints,
+            config=executor,
+            cache=cache,
         )
-        selected = None
-        if pareto:
-            selected = knee_point(
-                pareto,
-                objectives=(
-                    lambda evaluation: evaluation.area_slices,
-                    lambda evaluation: evaluation.total_execution_time_ns,
-                ),
-            )
-        return ExplorationResult(
-            base=base_evaluation,
-            evaluated=evaluated,
-            feasible=feasible,
-            pareto=pareto,
-            selected=selected,
-        )
+        return outcome.result
 
     def _is_feasible(
         self,
@@ -233,16 +219,31 @@ class RSPDesignSpaceExplorer:
         constraints: ExplorationConstraints,
     ) -> bool:
         """Apply the cost/performance rejection step of the paper's flow."""
-        max_area = constraints.max_area_slices
-        if max_area is None:
-            max_area = base.area_slices
-        if evaluation.parameters.kind != "base" and evaluation.area_slices >= max_area:
+        return is_feasible(evaluation, base, constraints)
+
+
+def is_feasible(
+    evaluation: DesignPointEvaluation,
+    base: DesignPointEvaluation,
+    constraints: ExplorationConstraints,
+) -> bool:
+    """The cost/performance rejection step of the paper's flow (Section 4).
+
+    A non-base design must be strictly smaller than the area bound (the
+    base architecture's area by default, per Eq. 2); optional bounds on the
+    execution-time ratio and the total stall cycles reject under-performing
+    candidates.
+    """
+    max_area = constraints.max_area_slices
+    if max_area is None:
+        max_area = base.area_slices
+    if evaluation.parameters.kind != "base" and evaluation.area_slices >= max_area:
+        return False
+    if constraints.max_execution_time_ratio is not None and base.total_execution_time_ns > 0:
+        ratio = evaluation.total_execution_time_ns / base.total_execution_time_ns
+        if ratio > constraints.max_execution_time_ratio:
             return False
-        if constraints.max_execution_time_ratio is not None and base.total_execution_time_ns > 0:
-            ratio = evaluation.total_execution_time_ns / base.total_execution_time_ns
-            if ratio > constraints.max_execution_time_ratio:
-                return False
-        if constraints.max_stall_cycles is not None:
-            if evaluation.total_stall_cycles > constraints.max_stall_cycles:
-                return False
-        return True
+    if constraints.max_stall_cycles is not None:
+        if evaluation.total_stall_cycles > constraints.max_stall_cycles:
+            return False
+    return True

@@ -23,17 +23,17 @@ def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
 
 
 def pareto_front_vectors(vectors: Sequence[Sequence[float]]) -> List[int]:
-    """Indices of the non-dominated vectors in ``vectors`` (minimisation)."""
-    front: List[int] = []
-    for index, candidate in enumerate(vectors):
-        dominated = False
-        for other_index, other in enumerate(vectors):
-            if other_index != index and dominates(other, candidate):
-                dominated = True
-                break
-        if not dominated:
-            front.append(index)
-    return front
+    """Indices of the non-dominated vectors in ``vectors`` (minimisation).
+
+    Semantics match the classic all-pairs scan (equal vectors are mutually
+    non-dominated and all kept; indices come back in input order), but the
+    work is delegated to :mod:`repro.engine.frontier`: an O(n log n)
+    sort-based sweep for two objectives, an incremental front for higher
+    dimensions — never the O(n²) scan the seed used.
+    """
+    from repro.engine.frontier import pareto_front_indices
+
+    return pareto_front_indices(vectors)
 
 
 def pareto_front(

@@ -1,0 +1,90 @@
+"""repro.engine — parallel, cache-backed exploration campaigns.
+
+The seed's :meth:`~repro.core.exploration.RSPDesignSpaceExplorer.explore`
+mirrors the paper's Figure 7 literally: every candidate is evaluated
+serially, from scratch, and the Pareto front is recomputed with an O(n²)
+scan.  This package turns that one-shot loop into an exploration
+*service*:
+
+Campaign lifecycle
+    A :class:`~repro.engine.jobs.CampaignSpec` names the kernel suites,
+    the candidate grid, the feasibility constraints and the executor.
+    The :class:`~repro.engine.runner.CampaignRunner` profiles each
+    suite's kernels on the base architecture, evaluates the grid through
+    the engine and emits a :class:`~repro.engine.runner.CampaignReport`
+    (a dataclass tree that serialises via
+    :func:`repro.utils.serialization.to_json`).
+
+Content-hashed jobs and the persistent cache
+    Every candidate evaluation is an
+    :class:`~repro.engine.jobs.EvaluationJob` whose SHA-256 identity
+    covers the candidate parameters *and* the full evaluation context
+    (schedule profiles, array, model calibration).  The JSON-lines
+    :class:`~repro.engine.cache.EvaluationCache` memoises completed
+    evaluations by that key, so repeated sweeps and overlapping grids
+    never recompute — and a record can never be stale, because any input
+    change changes the key.
+
+Executor selection
+    :class:`~repro.engine.executor.ExecutorConfig` picks the backend:
+    ``serial`` (the seed's behaviour), ``thread`` or ``process``
+    (a :class:`~concurrent.futures.ProcessPoolExecutor`; candidates are
+    dispatched in chunks, the evaluation context ships to each worker
+    once).  A dominance-based early-reject filter can skip provably
+    dominated candidates before the expensive stall estimation.
+
+Incremental Pareto frontiers
+    :class:`~repro.engine.frontier.ParetoFrontier` supports streaming
+    insertion (a sorted sweep for the two-objective area/time case) and
+    backs both the early-reject filter and the O(n log n)
+    :func:`~repro.core.pareto.pareto_front_vectors` replacement.
+
+Command line::
+
+    python -m repro.engine --suite paper --workers 4 --output report.json
+
+runs a campaign and writes the JSON report; an identical second
+invocation is served almost entirely from the cache.
+"""
+
+from repro.engine.cache import CacheStats, EvaluationCache
+from repro.engine.executor import (
+    BACKENDS,
+    EngineExplorationOutcome,
+    EngineRunStats,
+    EvaluationEngine,
+    ExecutorConfig,
+    run_exploration,
+)
+from repro.engine.frontier import ParetoFrontier, pareto_front_indices
+from repro.engine.jobs import (
+    SUITE_NAMES,
+    CampaignSpec,
+    EvaluationJob,
+    evaluation_context_hash,
+    hash_payload,
+    suite_kernels,
+)
+from repro.engine.runner import CampaignReport, CampaignRunner, SuiteReport
+
+__all__ = [
+    "BACKENDS",
+    "SUITE_NAMES",
+    "CacheStats",
+    "CampaignReport",
+    "CampaignRunner",
+    "CampaignSpec",
+    "EngineExplorationOutcome",
+    "EngineRunStats",
+    "EvaluationCache",
+    "EvaluationEngine",
+    "EvaluationJob",
+    "ExecutorConfig",
+    "ParetoFrontier",
+    "SuiteReport",
+    "evaluation_context_hash",
+    "hash_payload",
+    "pareto_front_indices",
+    "run_exploration",
+    "suite_kernels",
+]

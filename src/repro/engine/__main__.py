@@ -1,0 +1,156 @@
+"""Command-line entry point: ``python -m repro.engine``.
+
+Runs a multi-suite exploration campaign and writes a JSON report, e.g.::
+
+    python -m repro.engine --suite paper --workers 4 --output report.json
+    python -m repro.engine --suite livermore --suite dsp --backend process \\
+        --workers 8 --early-reject --cache-dir .repro_engine_cache
+
+The cache directory persists across invocations; a second identical run
+is served almost entirely from it (the report's ``cache_hits`` /
+``cache_misses`` counters show the effect).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.core.exploration import ExplorationConstraints
+from repro.engine.jobs import SUITE_NAMES, CampaignSpec
+from repro.engine.runner import SUMMARY_HEADERS, CampaignRunner
+from repro.errors import ReproError
+from repro.utils.serialization import to_json
+from repro.utils.tabulate import format_table
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine",
+        description="Run an RSP design-space exploration campaign.",
+    )
+    parser.add_argument(
+        "--suite",
+        action="append",
+        choices=SUITE_NAMES,
+        dest="suites",
+        help="kernel suite to explore (repeatable; default: paper)",
+    )
+    parser.add_argument("--name", default="campaign", help="campaign name used in the report")
+    parser.add_argument(
+        "--backend",
+        choices=("serial", "thread", "process"),
+        default="thread",
+        help="evaluation backend (default: thread; serial is forced when --workers 1)",
+    )
+    parser.add_argument("--workers", type=int, default=1, help="parallel workers (default: 1)")
+    parser.add_argument("--chunk-size", type=int, default=8, help="candidates per dispatch chunk")
+    parser.add_argument(
+        "--max-rows-shared", type=int, default=2, help="largest shr in the candidate grid"
+    )
+    parser.add_argument(
+        "--max-cols-shared", type=int, default=2, help="largest shc in the candidate grid"
+    )
+    parser.add_argument(
+        "--stages",
+        type=int,
+        nargs="+",
+        default=(1, 2),
+        help="pipeline-stage options of the grid (default: 1 2)",
+    )
+    parser.add_argument(
+        "--max-execution-time-ratio",
+        type=float,
+        default=None,
+        help="reject candidates slower than this multiple of the base",
+    )
+    parser.add_argument(
+        "--max-stall-cycles",
+        type=int,
+        default=None,
+        help="reject candidates with more total estimated stall cycles",
+    )
+    parser.add_argument(
+        "--early-reject",
+        action="store_true",
+        help="skip provably dominated candidates before stall estimation",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=Path(".repro_engine_cache"),
+        help="persistent evaluation cache directory (default: .repro_engine_cache)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true", help="disable the persistent evaluation cache"
+    )
+    parser.add_argument(
+        "--output", type=Path, default=None, help="write the JSON campaign report here"
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress the summary table")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _run(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run(args: argparse.Namespace) -> int:
+    spec = CampaignSpec(
+        name=args.name,
+        suites=tuple(args.suites or ("paper",)),
+        max_rows_shared=args.max_rows_shared,
+        max_cols_shared=args.max_cols_shared,
+        stage_options=tuple(args.stages),
+        constraints=ExplorationConstraints(
+            max_execution_time_ratio=args.max_execution_time_ratio,
+            max_stall_cycles=args.max_stall_cycles,
+        ),
+        backend=args.backend,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        early_reject=args.early_reject,
+    )
+    runner = CampaignRunner(spec, cache_dir=None if args.no_cache else args.cache_dir)
+    report, _ = runner.run()
+
+    if not args.quiet:
+        print(
+            format_table(
+                report.summary_rows(),
+                headers=list(SUMMARY_HEADERS),
+                title=f"campaign {report.campaign!r} "
+                f"[{report.backend} x{report.workers}, chunk {report.chunk_size}]",
+            )
+        )
+        print(
+            f"jobs: {report.total_jobs}  cache: {report.cache_hits} hits / "
+            f"{report.cache_misses} misses ({100.0 * report.cache_hit_rate:.1f}% hit rate)  "
+            f"early-rejected: {report.early_rejected}  wall: {report.wall_seconds:.2f}s"
+        )
+
+    if args.output is not None:
+        payload = {
+            "report": report,
+            "cache_hit_rate": report.cache_hit_rate,
+            "suite_selections": {
+                suite.suite: {"selected": suite.selected, "kind": suite.selected_kind}
+                for suite in report.suites
+            },
+        }
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(to_json(payload) + "\n", encoding="utf-8")
+        if not args.quiet:
+            print(f"report written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Persistent evaluation store backed by JSON-lines files.
+
+Exploration campaigns repeatedly evaluate overlapping candidate grids:
+re-running a sweep after enlarging the grid, exploring a second suite that
+shares the base profiles, or simply re-issuing the same campaign.  The
+cache makes every repeated evaluation free.
+
+Layout
+------
+A cache directory holds one append-only JSON-lines file per *evaluation
+context* (profiles + array + model calibration, see
+:func:`repro.engine.jobs.evaluation_context_hash`)::
+
+    <cache_dir>/evals-<context_hash_prefix>.jsonl
+
+Each line is one completed evaluation, keyed by the job's content hash::
+
+    {"key": "...", "label": "rs(shr=2,...)", "area_slices": ...,
+     "critical_path_ns": ..., "stalls": {kernel: {"rs_stalls": ...,
+     "rp_stalls": ..., "base_cycles": ...}}}
+
+Only derived *numbers* are stored; the architecture object is rebuilt from
+the job's parameters on a hit, so the format stays small and stable.
+Corrupt or truncated lines (e.g. from an interrupted run) are skipped on
+load.  Because keys are content hashes, a record can never be stale: any
+change to the profiles, the array or the model calibration changes the
+context hash and therefore the file and the keys.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.core.exploration import DesignPointEvaluation
+from repro.core.stalls import StallEstimate
+from repro.engine.jobs import EvaluationJob
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters of one engine run."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+class EvaluationCache:
+    """A keyed store of completed design-point evaluations.
+
+    Parameters
+    ----------
+    path:
+        JSON-lines file backing the cache.  ``None`` keeps the cache purely
+        in memory (useful for tests and one-shot runs).
+    """
+
+    def __init__(self, path: Optional[Path] = None) -> None:
+        self.path = Path(path) if path is not None else None
+        self.stats = CacheStats()
+        self._records: Dict[str, dict] = {}
+        if self.path is not None and self.path.exists():
+            self._load()
+
+    @classmethod
+    def for_context(cls, cache_dir: Path, context_hash: str) -> "EvaluationCache":
+        """The cache file of one evaluation context inside ``cache_dir``."""
+        cache_dir = Path(cache_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        return cls(cache_dir / f"evals-{context_hash[:16]}.jsonl")
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records
+
+    # ------------------------------------------------------------------
+    # Load / store
+    # ------------------------------------------------------------------
+    def _load(self) -> None:
+        with self.path.open("r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    float(record["area_slices"])
+                    float(record["critical_path_ns"])
+                    record["stalls"]
+                except (ValueError, KeyError, TypeError):
+                    continue  # interrupted write or foreign line
+                self._records[key] = record
+
+    def put(self, key: str, evaluation: DesignPointEvaluation) -> None:
+        """Record ``evaluation`` under ``key`` and append it to the file."""
+        if key in self._records:
+            return
+        record = {
+            "key": key,
+            "label": evaluation.architecture.name,
+            "area_slices": evaluation.area_slices,
+            "critical_path_ns": evaluation.critical_path_ns,
+            "stalls": {
+                kernel: {
+                    "rs_stalls": estimate.rs_stalls,
+                    "rp_stalls": estimate.rp_stalls,
+                    "base_cycles": estimate.base_cycles,
+                }
+                for kernel, estimate in evaluation.stall_estimates.items()
+            },
+        }
+        self._records[key] = record
+        self.stats.stores += 1
+        if self.path is not None:
+            with self.path.open("a", encoding="utf-8") as handle:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, key: str, job: EvaluationJob, array) -> Optional[DesignPointEvaluation]:
+        """Rehydrate the evaluation stored under ``key``, or ``None`` on a miss.
+
+        The architecture is rebuilt from the job's parameters (cheap and
+        deterministic), then populated with the cached numbers.
+        """
+        record = self._records.get(key)
+        if record is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        architecture = job.parameters.to_architecture(array, name=job.name)
+        stall_estimates = {
+            kernel: StallEstimate(
+                kernel=kernel,
+                architecture=architecture.name,
+                rs_stalls=int(entry["rs_stalls"]),
+                rp_stalls=int(entry["rp_stalls"]),
+                base_cycles=int(entry["base_cycles"]),
+            )
+            for kernel, entry in record["stalls"].items()
+        }
+        return DesignPointEvaluation(
+            parameters=job.parameters,
+            architecture=architecture,
+            area_slices=float(record["area_slices"]),
+            critical_path_ns=float(record["critical_path_ns"]),
+            stall_estimates=stall_estimates,
+        )

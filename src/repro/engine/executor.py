@@ -1,0 +1,433 @@
+"""Pluggable evaluation backends and the engine's exploration loop.
+
+The engine turns a candidate list into chunks of
+:class:`~repro.engine.jobs.EvaluationJob` and pushes them through one of
+three backends:
+
+* ``serial`` — plain in-process loop (the seed's behaviour);
+* ``thread`` — a :class:`~concurrent.futures.ThreadPoolExecutor`;
+* ``process`` — a :class:`~concurrent.futures.ProcessPoolExecutor` whose
+  workers receive the (picklable) explorer once via an initializer, so per
+  chunk traffic is just the candidate parameters and the returned
+  evaluations.
+
+Chunks are dispatched in *waves* of up to ``workers`` chunks.  Between
+waves the engine consults the persistent cache
+(:mod:`repro.engine.cache`) and — when enabled — a dominance-based
+**early-reject filter**: before the expensive stall estimation runs, a
+candidate's exact area and an execution-time *lower bound* (base cycles ×
+candidate clock period; stalls only ever add cycles) are compared against
+the incremental Pareto frontier of already-completed feasible points.  A
+candidate whose lower bound is already strictly beaten is provably
+dominated, can never join the Pareto front, and is skipped outright.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.exploration import (
+    DesignPointEvaluation,
+    ExplorationConstraints,
+    ExplorationResult,
+    RSPDesignSpaceExplorer,
+    is_feasible,
+)
+from repro.core.pareto import knee_point, pareto_front
+from repro.core.rsp_params import RSPParameters, base_parameters, enumerate_design_space
+from repro.engine.cache import EvaluationCache
+from repro.engine.frontier import ParetoFrontier
+from repro.engine.jobs import EvaluationJob, evaluation_context_hash
+from repro.errors import ExplorationError
+
+#: Backends accepted by :class:`ExecutorConfig`.
+BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
+
+#: The exploration's two objectives (both minimised).
+AREA_TIME_OBJECTIVES = (
+    lambda evaluation: evaluation.area_slices,
+    lambda evaluation: evaluation.total_execution_time_ns,
+)
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Backend selection for one engine run.
+
+    ``workers <= 1`` always resolves to the serial backend; a parallel
+    backend with one worker would only add overhead.
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+    chunk_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise ExplorationError(
+                f"unknown backend {self.backend!r}; choose from {', '.join(BACKENDS)}"
+            )
+        if self.workers < 1:
+            raise ExplorationError("workers must be at least 1")
+        if self.chunk_size < 1:
+            raise ExplorationError("chunk_size must be at least 1")
+
+    @property
+    def resolved_backend(self) -> str:
+        if self.workers <= 1:
+            return "serial"
+        return self.backend
+
+
+@dataclass
+class EngineRunStats:
+    """Counters of one engine exploration run."""
+
+    backend: str = "serial"
+    workers: int = 1
+    chunk_size: int = 8
+    total_jobs: int = 0
+    evaluated: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    early_rejected: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+
+@dataclass
+class EngineExplorationOutcome:
+    """An :class:`ExplorationResult` plus the engine's run statistics."""
+
+    result: ExplorationResult
+    stats: EngineRunStats
+    rejected: List[RSPParameters] = field(default_factory=list)
+
+
+# ----------------------------------------------------------------------
+# Process-pool plumbing: the explorer is shipped once per worker.
+# ----------------------------------------------------------------------
+_WORKER_EXPLORER: Optional[RSPDesignSpaceExplorer] = None
+
+
+def _init_worker(explorer: RSPDesignSpaceExplorer) -> None:
+    global _WORKER_EXPLORER
+    _WORKER_EXPLORER = explorer
+
+
+def _worker_evaluate(jobs: List[EvaluationJob]) -> List[DesignPointEvaluation]:
+    assert _WORKER_EXPLORER is not None, "worker initializer did not run"
+    return [_WORKER_EXPLORER.evaluate(job.parameters, name=job.name) for job in jobs]
+
+
+def _chunked(items: Sequence, size: int) -> List[List]:
+    return [list(items[start : start + size]) for start in range(0, len(items), size)]
+
+
+class EvaluationEngine:
+    """Evaluates job lists through a backend, a cache and the reject filter.
+
+    The engine wraps an :class:`RSPDesignSpaceExplorer` (which carries the
+    profiles, the array and the calibrated models) and adds everything the
+    explorer's one-shot loop lacked: batching, parallel dispatch, persistent
+    memoisation and dominance pruning.
+    """
+
+    def __init__(
+        self,
+        explorer: RSPDesignSpaceExplorer,
+        config: Optional[ExecutorConfig] = None,
+        cache: Optional[EvaluationCache] = None,
+    ) -> None:
+        self.explorer = explorer
+        self.config = config or ExecutorConfig()
+        self.cache = cache
+        self._context_hash: Optional[str] = None
+
+    @property
+    def context_hash(self) -> str:
+        """Digest of the evaluation context (computed once, lazily)."""
+        if self._context_hash is None:
+            self._context_hash = evaluation_context_hash(
+                self.explorer.profiles,
+                self.explorer.array,
+                self.explorer.cost_model,
+                self.explorer.timing_model,
+            )
+        return self._context_hash
+
+    # ------------------------------------------------------------------
+    # Single-job path (base point, ad-hoc evaluations)
+    # ------------------------------------------------------------------
+    def evaluate_job(self, job: EvaluationJob, stats: Optional[EngineRunStats] = None) -> DesignPointEvaluation:
+        """Evaluate one job through the cache."""
+        if self.cache is None:
+            evaluation = self.explorer.evaluate(job.parameters, name=job.name)
+            if stats is not None:
+                stats.evaluated += 1
+            return evaluation
+        key = job.content_hash(self.context_hash)
+        cached = self.cache.get(key, job, self.explorer.array)
+        if cached is not None:
+            if stats is not None:
+                stats.cache_hits += 1
+            return cached
+        evaluation = self.explorer.evaluate(job.parameters, name=job.name)
+        self.cache.put(key, evaluation)
+        if stats is not None:
+            stats.cache_misses += 1
+            stats.evaluated += 1
+        return evaluation
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+    def evaluate_jobs(
+        self,
+        jobs: Sequence[EvaluationJob],
+        stats: EngineRunStats,
+        reject_frontier: Optional[ParetoFrontier] = None,
+        lower_bound_cycles: int = 0,
+        base_evaluation: Optional[DesignPointEvaluation] = None,
+        constraints: Optional[ExplorationConstraints] = None,
+    ) -> Tuple[Dict[int, DesignPointEvaluation], List[int]]:
+        """Evaluate ``jobs``; returns (index → evaluation, rejected indices).
+
+        When ``reject_frontier`` is given, candidates whose execution-time
+        lower bound is already strictly beaten by a completed feasible
+        point at no larger area are skipped before stall estimation, and
+        feasible results are streamed into the frontier as waves finish.
+        """
+        results: Dict[int, DesignPointEvaluation] = {}
+        rejected: List[int] = []
+        pending = deque(_chunked(list(range(len(jobs))), self.config.chunk_size))
+        backend = self.config.resolved_backend
+        wave_width = self.config.workers if backend != "serial" else 1
+
+        pool = None
+        try:
+            if backend == "thread":
+                pool = ThreadPoolExecutor(max_workers=self.config.workers)
+            elif backend == "process":
+                pool = ProcessPoolExecutor(
+                    max_workers=self.config.workers,
+                    initializer=_init_worker,
+                    initargs=(self.explorer,),
+                )
+            while pending:
+                wave = [pending.popleft() for _ in range(min(wave_width, len(pending)))]
+                dispatch: List[List[int]] = []
+                for chunk in wave:
+                    misses: List[int] = []
+                    for index in chunk:
+                        job = jobs[index]
+                        if self.cache is not None:
+                            key = job.content_hash(self.context_hash)
+                            cached = self.cache.get(key, job, self.explorer.array)
+                            if cached is not None:
+                                stats.cache_hits += 1
+                                results[index] = cached
+                                if (
+                                    reject_frontier is not None
+                                    and base_evaluation is not None
+                                    and is_feasible(
+                                        cached,
+                                        base_evaluation,
+                                        constraints or ExplorationConstraints(),
+                                    )
+                                ):
+                                    reject_frontier.add(
+                                        (cached.area_slices, cached.total_execution_time_ns)
+                                    )
+                                continue
+                            stats.cache_misses += 1
+                        if reject_frontier is not None and self._early_reject(
+                            job, reject_frontier, lower_bound_cycles
+                        ):
+                            stats.early_rejected += 1
+                            rejected.append(index)
+                            continue
+                        misses.append(index)
+                    if misses:
+                        dispatch.append(misses)
+
+                if pool is None:
+                    wave_results = [
+                        _evaluate_with(self.explorer, [jobs[index] for index in chunk])
+                        for chunk in dispatch
+                    ]
+                elif backend == "thread":
+                    wave_results = list(
+                        pool.map(
+                            lambda chunk: _evaluate_with(
+                                self.explorer, [jobs[index] for index in chunk]
+                            ),
+                            dispatch,
+                        )
+                    )
+                else:
+                    wave_results = list(
+                        pool.map(
+                            _worker_evaluate,
+                            [[jobs[index] for index in chunk] for chunk in dispatch],
+                        )
+                    )
+
+                for chunk, evaluations in zip(dispatch, wave_results):
+                    for index, evaluation in zip(chunk, evaluations):
+                        results[index] = evaluation
+                        stats.evaluated += 1
+                        if self.cache is not None:
+                            key = jobs[index].content_hash(self.context_hash)
+                            self.cache.put(key, evaluation)
+
+                if reject_frontier is not None and base_evaluation is not None:
+                    for chunk, evaluations in zip(dispatch, wave_results):
+                        for evaluation in evaluations:
+                            if is_feasible(evaluation, base_evaluation, constraints or ExplorationConstraints()):
+                                reject_frontier.add(
+                                    (evaluation.area_slices, evaluation.total_execution_time_ns)
+                                )
+        finally:
+            if pool is not None:
+                pool.shutdown()
+        return results, rejected
+
+    def _early_reject(
+        self,
+        job: EvaluationJob,
+        frontier: ParetoFrontier,
+        lower_bound_cycles: int,
+    ) -> bool:
+        """True when ``job`` is provably dominated before stall estimation.
+
+        The candidate's area and clock period come from the cheap cost and
+        timing models; its execution time is at least ``lower_bound_cycles``
+        (the stall-free base schedule) times the period.  If a completed
+        feasible point with no larger area already achieves a *strictly*
+        smaller time than that bound, the candidate's true objective vector
+        is dominated regardless of its stall count.
+        """
+        if not len(frontier):
+            return False
+        architecture = job.parameters.to_architecture(self.explorer.array, name=job.name)
+        area = self.explorer.cost_model.array_area(architecture)
+        period = self.explorer.timing_model.critical_path_ns(architecture)
+        lower_bound_time = lower_bound_cycles * period
+        return frontier.min_second_objective_at_or_below(area) < lower_bound_time
+
+
+def _evaluate_with(
+    explorer: RSPDesignSpaceExplorer, jobs: List[EvaluationJob]
+) -> List[DesignPointEvaluation]:
+    return [explorer.evaluate(job.parameters, name=job.name) for job in jobs]
+
+
+# ----------------------------------------------------------------------
+# The engine's exploration loop (the explorer facade delegates here)
+# ----------------------------------------------------------------------
+def run_exploration(
+    explorer: RSPDesignSpaceExplorer,
+    candidates: Optional[Sequence[RSPParameters]] = None,
+    constraints: Optional[ExplorationConstraints] = None,
+    config: Optional[ExecutorConfig] = None,
+    cache: Optional[EvaluationCache] = None,
+    early_reject: bool = False,
+) -> EngineExplorationOutcome:
+    """Run a full exploration through the engine.
+
+    Reproduces the explorer's serial semantics exactly when
+    ``early_reject`` is off: the same candidates in the same order, the
+    same feasibility filter, the same Pareto front and the same knee-point
+    selection — only batched, optionally parallel and cached.  With
+    ``early_reject`` on, provably dominated candidates are skipped; the
+    front and the selected design are unchanged, but the ``evaluated`` and
+    ``feasible`` lists omit the rejected points (returned separately).
+    """
+    started = time.perf_counter()
+    constraints = constraints or ExplorationConstraints()
+    candidate_list = list(candidates) if candidates is not None else enumerate_design_space()
+    config = config or ExecutorConfig()
+    engine = EvaluationEngine(explorer, config=config, cache=cache)
+    stats = EngineRunStats(
+        backend=config.resolved_backend,
+        workers=config.workers,
+        chunk_size=config.chunk_size,
+    )
+
+    # The base point is evaluated exactly once, up front: it anchors the
+    # feasibility constraints and stands in for any "base" candidates.
+    base_evaluation = engine.evaluate_job(
+        EvaluationJob(parameters=base_parameters(), name="Base"), stats
+    )
+
+    job_indices: List[int] = []
+    jobs: List[EvaluationJob] = []
+    for position, parameters in enumerate(candidate_list):
+        if parameters.kind == "base":
+            continue
+        job_indices.append(position)
+        jobs.append(EvaluationJob(parameters=parameters))
+    # Distinct evaluation jobs: the non-base candidates plus the single
+    # base evaluation ("base" entries in the candidate list reuse it).
+    stats.total_jobs = len(jobs) + 1
+
+    reject_frontier: Optional[ParetoFrontier] = None
+    lower_bound_cycles = 0
+    if early_reject:
+        reject_frontier = ParetoFrontier(num_objectives=2)
+        if is_feasible(base_evaluation, base_evaluation, constraints):
+            reject_frontier.add(
+                (base_evaluation.area_slices, base_evaluation.total_execution_time_ns)
+            )
+        lower_bound_cycles = sum(profile.length for profile in explorer.profiles.values())
+
+    results, rejected_positions = engine.evaluate_jobs(
+        jobs,
+        stats,
+        reject_frontier=reject_frontier,
+        lower_bound_cycles=lower_bound_cycles,
+        base_evaluation=base_evaluation,
+        constraints=constraints,
+    )
+
+    by_candidate: Dict[int, DesignPointEvaluation] = {}
+    for local_index, candidate_index in enumerate(job_indices):
+        if local_index in results:
+            by_candidate[candidate_index] = results[local_index]
+
+    evaluated: List[DesignPointEvaluation] = []
+    rejected: List[RSPParameters] = []
+    for position, parameters in enumerate(candidate_list):
+        if parameters.kind == "base":
+            evaluated.append(base_evaluation)
+        elif position in by_candidate:
+            evaluated.append(by_candidate[position])
+        else:
+            rejected.append(parameters)
+
+    feasible = [
+        evaluation
+        for evaluation in evaluated
+        if is_feasible(evaluation, base_evaluation, constraints)
+    ]
+    pareto = pareto_front(feasible, objectives=AREA_TIME_OBJECTIVES)
+    selected = knee_point(pareto, objectives=AREA_TIME_OBJECTIVES) if pareto else None
+
+    stats.wall_seconds = time.perf_counter() - started
+    result = ExplorationResult(
+        base=base_evaluation,
+        evaluated=evaluated,
+        feasible=feasible,
+        pareto=pareto,
+        selected=selected,
+    )
+    return EngineExplorationOutcome(result=result, stats=stats, rejected=rejected)

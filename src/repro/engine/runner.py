@@ -1,0 +1,243 @@
+"""Campaign runner: multi-suite exploration with reports.
+
+A campaign walks its suites in order.  For every suite the runner
+
+1. maps each kernel onto the base architecture and extracts its
+   :class:`~repro.core.stalls.ScheduleProfile` (the paper flow's "initial
+   configuration contexts"),
+2. runs the candidate grid through the evaluation engine — batched,
+   optionally parallel, backed by the persistent cache, optionally with
+   the dominance early-reject filter,
+3. records the outcome as a :class:`SuiteReport`.
+
+The aggregate :class:`CampaignReport` is a plain dataclass tree, so it
+serialises losslessly through :func:`repro.utils.serialization.to_json`
+and is what ``python -m repro.engine`` writes to disk.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.exploration import ExplorationResult, RSPDesignSpaceExplorer
+from repro.engine.cache import EvaluationCache
+from repro.engine.executor import (
+    EngineRunStats,
+    ExecutorConfig,
+    run_exploration,
+)
+from repro.engine.jobs import CampaignSpec, evaluation_context_hash, suite_kernels
+from repro.mapping.mapper import RSPMapper
+from repro.mapping.profile import extract_profile
+
+
+@dataclass
+class SuiteReport:
+    """Outcome of one suite within a campaign."""
+
+    suite: str
+    kernels: List[str]
+    num_candidates: int
+    num_feasible: int
+    num_pareto: int
+    num_early_rejected: int
+    selected: Optional[str]
+    selected_kind: Optional[str]
+    base_area_slices: float
+    base_execution_time_ns: float
+    selected_area_slices: Optional[float]
+    selected_execution_time_ns: Optional[float]
+    cache_hits: int
+    cache_misses: int
+    profile_seconds: float
+    explore_seconds: float
+
+    @property
+    def area_reduction_percent(self) -> Optional[float]:
+        if self.selected_area_slices is None or self.base_area_slices <= 0:
+            return None
+        return 100.0 * (self.base_area_slices - self.selected_area_slices) / self.base_area_slices
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one campaign run."""
+
+    campaign: str
+    suites: List[SuiteReport]
+    backend: str
+    workers: int
+    chunk_size: int
+    early_reject: bool
+    cache_path: Optional[str]
+    total_jobs: int
+    cache_hits: int
+    cache_misses: int
+    early_rejected: int
+    wall_seconds: float
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def summary_rows(self) -> List[List[object]]:
+        """Per-suite rows for a text table (suite, selection, cache, timing)."""
+        rows: List[List[object]] = []
+        for suite in self.suites:
+            rows.append(
+                [
+                    suite.suite,
+                    len(suite.kernels),
+                    suite.num_candidates,
+                    suite.num_feasible,
+                    suite.num_pareto,
+                    suite.num_early_rejected,
+                    suite.selected or "-",
+                    (
+                        f"{suite.area_reduction_percent:.1f}%"
+                        if suite.area_reduction_percent is not None
+                        else "-"
+                    ),
+                    suite.cache_hits,
+                    suite.cache_misses,
+                    round(suite.explore_seconds, 3),
+                ]
+            )
+        return rows
+
+
+#: Headers matching :meth:`CampaignReport.summary_rows`.
+SUMMARY_HEADERS: Tuple[str, ...] = (
+    "suite",
+    "kernels",
+    "candidates",
+    "feasible",
+    "pareto",
+    "rejected",
+    "selected",
+    "area-R%",
+    "hits",
+    "misses",
+    "explore(s)",
+)
+
+
+class CampaignRunner:
+    """Executes a :class:`~repro.engine.jobs.CampaignSpec`.
+
+    Parameters
+    ----------
+    spec:
+        The campaign description (suites, grid, constraints, executor).
+    cache_dir:
+        Directory for the persistent evaluation store; ``None`` disables
+        persistence (evaluations are still memoised within the run).
+    mapper:
+        Base-architecture mapper to reuse; a fresh one (with its own
+        base-schedule cache) is created when omitted.
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        cache_dir: Optional[Path] = None,
+        mapper: Optional[RSPMapper] = None,
+    ) -> None:
+        self.spec = spec
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.mapper = mapper or RSPMapper()
+
+    def run(self) -> Tuple[CampaignReport, Dict[str, ExplorationResult]]:
+        """Run every suite; returns the report and per-suite exploration results."""
+        started = time.perf_counter()
+        config = ExecutorConfig(
+            backend=self.spec.backend,
+            workers=self.spec.workers,
+            chunk_size=self.spec.chunk_size,
+        )
+        candidates = self.spec.candidate_grid()
+        suite_reports: List[SuiteReport] = []
+        results: Dict[str, ExplorationResult] = {}
+        cache_paths: List[str] = []
+        totals = EngineRunStats()
+
+        for suite_name in self.spec.suites:
+            profile_started = time.perf_counter()
+            kernels = suite_kernels(suite_name)
+            profiles = {}
+            for kernel in kernels:
+                result = self.mapper.map_kernel(kernel, self.mapper.base)
+                profiles[kernel.name] = extract_profile(result.base_schedule, result.dfg)
+            profile_seconds = time.perf_counter() - profile_started
+
+            explorer = RSPDesignSpaceExplorer(profiles, array=self.mapper.base.array)
+            cache: Optional[EvaluationCache] = None
+            if self.cache_dir is not None:
+                context = evaluation_context_hash(
+                    profiles,
+                    explorer.array,
+                    explorer.cost_model,
+                    explorer.timing_model,
+                )
+                cache = EvaluationCache.for_context(self.cache_dir, context)
+                cache_paths.append(str(cache.path))
+
+            outcome = run_exploration(
+                explorer,
+                candidates=candidates,
+                constraints=self.spec.constraints,
+                config=config,
+                cache=cache,
+                early_reject=self.spec.early_reject,
+            )
+            exploration = outcome.result
+            stats = outcome.stats
+            results[suite_name] = exploration
+
+            selected = exploration.selected
+            suite_reports.append(
+                SuiteReport(
+                    suite=suite_name,
+                    kernels=[kernel.name for kernel in kernels],
+                    num_candidates=len(candidates),
+                    num_feasible=len(exploration.feasible),
+                    num_pareto=len(exploration.pareto),
+                    num_early_rejected=len(outcome.rejected),
+                    selected=selected.parameters.describe() if selected else None,
+                    selected_kind=selected.parameters.kind if selected else None,
+                    base_area_slices=exploration.base.area_slices,
+                    base_execution_time_ns=exploration.base.total_execution_time_ns,
+                    selected_area_slices=selected.area_slices if selected else None,
+                    selected_execution_time_ns=(
+                        selected.total_execution_time_ns if selected else None
+                    ),
+                    cache_hits=stats.cache_hits,
+                    cache_misses=stats.cache_misses,
+                    profile_seconds=profile_seconds,
+                    explore_seconds=stats.wall_seconds,
+                )
+            )
+            totals.total_jobs += stats.total_jobs
+            totals.cache_hits += stats.cache_hits
+            totals.cache_misses += stats.cache_misses
+            totals.early_rejected += stats.early_rejected
+
+        report = CampaignReport(
+            campaign=self.spec.name,
+            suites=suite_reports,
+            backend=config.resolved_backend,
+            workers=config.workers,
+            chunk_size=config.chunk_size,
+            early_reject=self.spec.early_reject,
+            cache_path=";".join(cache_paths) if cache_paths else None,
+            total_jobs=totals.total_jobs,
+            cache_hits=totals.cache_hits,
+            cache_misses=totals.cache_misses,
+            early_rejected=totals.early_rejected,
+            wall_seconds=time.perf_counter() - started,
+        )
+        return report, results

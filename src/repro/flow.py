@@ -20,7 +20,7 @@ This is the highest-level entry point of the library::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 from repro.arch.array import ArraySpec
 from repro.arch.template import ArchitectureSpec, base_architecture, default_array_spec
@@ -37,6 +37,10 @@ from repro.errors import ExplorationError
 from repro.ir.loops import Kernel
 from repro.mapping.mapper import MappingResult, RSPMapper
 from repro.mapping.profile import extract_profile
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.engine.cache import EvaluationCache
+    from repro.engine.executor import ExecutorConfig
 
 
 @dataclass
@@ -75,6 +79,8 @@ def run_rsp_flow(
     constraints: Optional[ExplorationConstraints] = None,
     cost_model: Optional[HardwareCostModel] = None,
     timing_model: Optional[TimingModel] = None,
+    executor: Optional["ExecutorConfig"] = None,
+    cache: Optional["EvaluationCache"] = None,
 ) -> FlowOutcome:
     """Run the complete RSP design flow for an application domain.
 
@@ -93,6 +99,12 @@ def run_rsp_flow(
         Feasibility constraints applied before Pareto filtering.
     cost_model / timing_model:
         Models used for the exploration estimates.
+    executor / cache:
+        Evaluation-engine options (see :mod:`repro.engine`): a backend
+        configuration for parallel candidate evaluation and a persistent
+        cache so repeated flows never recompute an evaluation.  The
+        exploration step always runs through the engine; these arguments
+        only tune it.
     """
     if not kernels:
         raise ExplorationError("the RSP flow needs at least one kernel")
@@ -115,7 +127,7 @@ def run_rsp_flow(
         profiles, array=array_spec, cost_model=cost_model, timing_model=timing_model
     )
     candidate_list = list(candidates) if candidates is not None else enumerate_design_space()
-    exploration = explorer.explore(candidate_list, constraints)
+    exploration = explorer.explore(candidate_list, constraints, executor=executor, cache=cache)
 
     selected_architecture: Optional[ArchitectureSpec] = None
     rsp_mappings: Dict[str, MappingResult] = {}

@@ -83,3 +83,41 @@ def test_every_point_is_dominated_by_or_on_the_front(values):
 def test_knee_point_is_on_the_front(values):
     objectives = (lambda point: point[0], lambda point: point[1])
     assert knee_point(values, objectives) in pareto_front(values, objectives)
+
+
+def naive_pareto_front_vectors(vectors):
+    """The seed's O(n²) all-pairs scan, the reference for equivalence."""
+    front = []
+    for index, candidate in enumerate(vectors):
+        dominated = False
+        for other_index, other in enumerate(vectors):
+            if other_index != index and dominates(other, candidate):
+                dominated = True
+                break
+        if not dominated:
+            front.append(index)
+    return front
+
+
+@given(points)
+@settings(max_examples=120, deadline=None)
+def test_front_vectors_equivalent_to_naive_scan(values):
+    """The sweep-based implementation matches the naive scan exactly."""
+    assert pareto_front_vectors(values) == naive_pareto_front_vectors(values)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10), st.integers(0, 10), st.integers(0, 10)),
+        min_size=0,
+        max_size=25,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_front_vectors_equivalent_to_naive_scan_3d(values):
+    """Equivalence also holds beyond the two-objective fast path."""
+    assert pareto_front_vectors(values) == naive_pareto_front_vectors(values)
+
+
+def test_front_vectors_keeps_duplicate_optima():
+    assert pareto_front_vectors([(1, 1), (2, 2), (1, 1)]) == [0, 2]

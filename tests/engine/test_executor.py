@@ -1,0 +1,199 @@
+"""Tests for the evaluation engine: backends, cache integration, early reject."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exploration import (
+    ExplorationConstraints,
+    RSPDesignSpaceExplorer,
+    is_feasible,
+)
+from repro.core.rsp_params import enumerate_design_space, paper_parameters
+from repro.core.stalls import CriticalOpIssue, ScheduleProfile
+from repro.engine.cache import EvaluationCache
+from repro.engine.executor import (
+    EvaluationEngine,
+    ExecutorConfig,
+    run_exploration,
+)
+from repro.engine.jobs import EvaluationJob
+from repro.errors import ExplorationError
+
+
+def synthetic_profiles() -> dict:
+    heavy_issues = [
+        CriticalOpIssue(cycle=cycle, row=index % 8, col=index // 8, iteration=index,
+                        has_immediate_dependent=True)
+        for cycle in range(4)
+        for index in range(16)
+    ]
+    heavy = ScheduleProfile(kernel="heavy", length=12, critical_issues=tuple(heavy_issues),
+                            rows=8, cols=8)
+    light = ScheduleProfile(kernel="light", length=20, critical_issues=(), rows=8, cols=8)
+    return {"heavy": heavy, "light": light}
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return RSPDesignSpaceExplorer(synthetic_profiles())
+
+
+@pytest.fixture(scope="module")
+def serial_reference(explorer):
+    return run_exploration(explorer, config=ExecutorConfig()).result
+
+
+# ----------------------------------------------------------------------
+# Config validation
+# ----------------------------------------------------------------------
+def test_executor_config_validation():
+    with pytest.raises(ExplorationError):
+        ExecutorConfig(backend="gpu")
+    with pytest.raises(ExplorationError):
+        ExecutorConfig(workers=0)
+    with pytest.raises(ExplorationError):
+        ExecutorConfig(chunk_size=0)
+
+
+def test_single_worker_resolves_to_serial():
+    assert ExecutorConfig(backend="process", workers=1).resolved_backend == "serial"
+    assert ExecutorConfig(backend="process", workers=3).resolved_backend == "process"
+
+
+# ----------------------------------------------------------------------
+# Backend parity
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("backend", ["thread", "process"])
+def test_parallel_backends_match_serial(explorer, serial_reference, backend):
+    config = ExecutorConfig(backend=backend, workers=2, chunk_size=3)
+    result = run_exploration(explorer, config=config).result
+    assert [e.parameters for e in result.evaluated] == [
+        e.parameters for e in serial_reference.evaluated
+    ]
+    assert [e.area_slices for e in result.evaluated] == [
+        e.area_slices for e in serial_reference.evaluated
+    ]
+    assert [e.total_estimated_cycles for e in result.evaluated] == [
+        e.total_estimated_cycles for e in serial_reference.evaluated
+    ]
+    assert [e.parameters for e in result.pareto] == [
+        e.parameters for e in serial_reference.pareto
+    ]
+    assert result.selected.parameters == serial_reference.selected.parameters
+
+
+def test_engine_matches_explorer_facade(explorer, serial_reference):
+    facade = explorer.explore()
+    assert [e.parameters for e in facade.evaluated] == [
+        e.parameters for e in serial_reference.evaluated
+    ]
+    assert facade.selected.parameters == serial_reference.selected.parameters
+
+
+# ----------------------------------------------------------------------
+# Cache integration
+# ----------------------------------------------------------------------
+def test_second_run_is_fully_cached(explorer, tmp_path):
+    cache = EvaluationCache(tmp_path / "evals.jsonl")
+    first = run_exploration(explorer, cache=cache)
+    assert first.stats.cache_hits == 0
+    assert first.stats.cache_misses > 0
+
+    warm = EvaluationCache(tmp_path / "evals.jsonl")
+    second = run_exploration(explorer, cache=warm)
+    assert second.stats.cache_misses == 0
+    assert second.stats.cache_hits == first.stats.cache_misses
+    assert second.stats.cache_hit_rate == 1.0
+    assert second.result.selected.parameters == first.result.selected.parameters
+    assert [e.area_slices for e in second.result.evaluated] == [
+        e.area_slices for e in first.result.evaluated
+    ]
+
+
+def test_cache_is_shared_across_overlapping_grids(explorer, tmp_path):
+    cache = EvaluationCache(tmp_path / "evals.jsonl")
+    small = enumerate_design_space(max_rows_shared=1, max_cols_shared=1)
+    run_exploration(explorer, candidates=small, cache=cache)
+
+    large = enumerate_design_space(max_rows_shared=2, max_cols_shared=2)
+    outcome = run_exploration(explorer, candidates=large, cache=cache)
+    # Every candidate of the small grid (plus the base point) is a hit.
+    assert outcome.stats.cache_hits >= len(small)
+
+
+def test_evaluate_job_uses_cache(explorer, tmp_path):
+    engine = EvaluationEngine(explorer, cache=EvaluationCache(tmp_path / "evals.jsonl"))
+    job = EvaluationJob(paper_parameters(2, pipelined=True))
+    first = engine.evaluate_job(job)
+    second = engine.evaluate_job(job)
+    assert engine.cache.stats.hits == 1
+    assert first.area_slices == second.area_slices
+
+
+# ----------------------------------------------------------------------
+# Early reject
+# ----------------------------------------------------------------------
+def test_early_reject_preserves_front_and_selection(explorer, serial_reference):
+    outcome = run_exploration(explorer, early_reject=True)
+    assert outcome.stats.early_rejected == len(outcome.rejected)
+    assert [e.parameters for e in outcome.result.pareto] == [
+        e.parameters for e in serial_reference.pareto
+    ]
+    assert outcome.result.selected.parameters == serial_reference.selected.parameters
+    # Rejected candidates are genuinely dominated: their exact evaluation is
+    # beaten by a feasible point of the reference run.
+    reference_by_parameters = {
+        e.parameters: e for e in serial_reference.evaluated
+    }
+    for parameters in outcome.rejected:
+        exact = explorer.evaluate(parameters)
+        assert any(
+            feasible.area_slices <= exact.area_slices
+            and feasible.total_execution_time_ns < exact.total_execution_time_ns
+            for feasible in serial_reference.feasible
+        ), parameters
+    assert len(outcome.result.evaluated) + len(outcome.rejected) == len(
+        serial_reference.evaluated
+    )
+    assert reference_by_parameters  # sanity: reference evaluated something
+
+
+def test_stats_account_for_every_job(explorer):
+    outcome = run_exploration(explorer, config=ExecutorConfig(chunk_size=5))
+    stats = outcome.stats
+    non_base = [c for c in enumerate_design_space() if c.kind != "base"]
+    # Distinct jobs: the non-base candidates plus the single base point
+    # ("base" entries in the candidate list reuse the one evaluation).
+    assert stats.total_jobs == len(non_base) + 1
+    # No cache, no reject: every distinct job is evaluated exactly once.
+    assert stats.evaluated == stats.total_jobs
+    assert stats.wall_seconds > 0
+
+
+def test_cache_hits_feed_the_reject_frontier(explorer, tmp_path):
+    cache = EvaluationCache(tmp_path / "evals.jsonl")
+    small = enumerate_design_space(max_rows_shared=1, max_cols_shared=1)
+    run_exploration(explorer, candidates=small, cache=cache)
+
+    large = enumerate_design_space(max_rows_shared=2, max_cols_shared=2)
+    cold = run_exploration(explorer, candidates=large, early_reject=True)
+    warm = run_exploration(explorer, candidates=large, cache=cache, early_reject=True)
+    # Cached feasible points enter the frontier before any dispatch, so the
+    # partially warm run prunes at least as hard as the cold one, and both
+    # agree with the exact sweep on the outcome.
+    assert warm.stats.early_rejected >= cold.stats.early_rejected
+    exact = run_exploration(explorer, candidates=large)
+    assert warm.result.selected.parameters == exact.result.selected.parameters
+    assert [e.parameters for e in warm.result.pareto] == [
+        e.parameters for e in exact.result.pareto
+    ]
+
+
+def test_feasibility_helper_matches_method(explorer):
+    result = explorer.explore()
+    constraints = ExplorationConstraints()
+    for evaluation in result.evaluated:
+        assert is_feasible(evaluation, result.base, constraints) == explorer._is_feasible(
+            evaluation, result.base, constraints
+        )

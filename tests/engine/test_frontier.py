@@ -1,0 +1,158 @@
+"""Tests for the incremental Pareto frontier and the one-shot sweep."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.frontier import ParetoFrontier, pareto_front_indices
+
+
+def naive_front_indices(vectors):
+    """The seed's O(n²) all-pairs scan, kept as the reference semantics."""
+
+    def dominates(a, b):
+        return all(x <= y for x, y in zip(a, b)) and any(x < y for x, y in zip(a, b))
+
+    return [
+        index
+        for index, vector in enumerate(vectors)
+        if not any(
+            other_index != index and dominates(other, vector)
+            for other_index, other in enumerate(vectors)
+        )
+    ]
+
+
+# ----------------------------------------------------------------------
+# pareto_front_indices (one-shot)
+# ----------------------------------------------------------------------
+def test_front_indices_simple():
+    vectors = [(1, 4), (2, 2), (4, 1), (3, 3), (5, 5)]
+    assert pareto_front_indices(vectors) == [0, 1, 2]
+
+
+def test_front_indices_empty():
+    assert pareto_front_indices([]) == []
+
+
+def test_front_indices_duplicates_all_kept():
+    vectors = [(1, 1), (1, 1), (2, 2), (1, 1)]
+    assert pareto_front_indices(vectors) == [0, 1, 3]
+
+
+def test_front_indices_equal_x_groups():
+    # Within an equal-x group only the minimal-y points survive.
+    vectors = [(1, 5), (1, 3), (1, 3), (2, 2), (2, 4)]
+    assert pareto_front_indices(vectors) == [1, 2, 3]
+
+
+def test_front_indices_rejects_ragged_vectors():
+    with pytest.raises(ValueError):
+        pareto_front_indices([(1, 2), (1, 2, 3)])
+
+
+def test_front_indices_three_objectives():
+    vectors = [(1, 1, 5), (1, 5, 1), (5, 1, 1), (2, 2, 2), (6, 6, 6)]
+    assert pareto_front_indices(vectors) == [0, 1, 2, 3]
+
+
+vectors_2d = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(0, 30)), min_size=0, max_size=40
+)
+vectors_3d = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12), st.integers(0, 12)),
+    min_size=0,
+    max_size=30,
+)
+
+
+@given(vectors_2d)
+@settings(max_examples=120, deadline=None)
+def test_sweep_matches_naive_scan_2d(vectors):
+    assert pareto_front_indices(vectors) == naive_front_indices(vectors)
+
+
+@given(vectors_3d)
+@settings(max_examples=80, deadline=None)
+def test_incremental_matches_naive_scan_3d(vectors):
+    assert pareto_front_indices(vectors) == naive_front_indices(vectors)
+
+
+# ----------------------------------------------------------------------
+# ParetoFrontier (streaming)
+# ----------------------------------------------------------------------
+def test_streaming_insertion_keeps_only_non_dominated():
+    frontier = ParetoFrontier()
+    assert frontier.add((2, 2), "a")
+    assert not frontier.add((3, 3), "dominated")
+    assert frontier.add((1, 4), "b")
+    assert frontier.add((4, 1), "c")
+    assert sorted(frontier.items()) == ["a", "b", "c"]
+
+
+def test_streaming_insertion_evicts_newly_dominated():
+    frontier = ParetoFrontier()
+    frontier.add((3, 3), "old")
+    frontier.add((1, 1), "better")
+    assert frontier.items() == ["better"]
+    assert frontier.vectors() == [(1, 1)]
+
+
+def test_duplicates_accumulate():
+    frontier = ParetoFrontier()
+    assert frontier.add((2, 2), "first")
+    assert frontier.add((2, 2), "second")
+    assert len(frontier) == 2
+    assert not frontier.dominated((2, 2))
+
+
+def test_dominated_query():
+    frontier = ParetoFrontier()
+    frontier.add((2, 2))
+    assert frontier.dominated((3, 2))
+    assert frontier.dominated((2, 3))
+    assert not frontier.dominated((2, 2))
+    assert not frontier.dominated((1, 5))
+
+
+def test_min_second_objective_query():
+    frontier = ParetoFrontier()
+    frontier.add((1, 9))
+    frontier.add((5, 4))
+    frontier.add((8, 2))
+    assert frontier.min_second_objective_at_or_below(0.5) == float("inf")
+    assert frontier.min_second_objective_at_or_below(1) == 9
+    assert frontier.min_second_objective_at_or_below(6) == 4
+    assert frontier.min_second_objective_at_or_below(100) == 2
+
+
+def test_objective_arity_is_checked():
+    frontier = ParetoFrontier(num_objectives=2)
+    with pytest.raises(ValueError):
+        frontier.add((1, 2, 3))
+    with pytest.raises(ValueError):
+        ParetoFrontier(num_objectives=0)
+    with pytest.raises(ValueError):
+        ParetoFrontier(num_objectives=3).min_second_objective_at_or_below(1.0)
+
+
+def test_general_dimension_frontier():
+    frontier = ParetoFrontier(num_objectives=3)
+    assert frontier.add((1, 1, 5), "a")
+    assert frontier.add((5, 1, 1), "b")
+    assert not frontier.add((6, 2, 2), "dominated-by-b")
+    assert frontier.add((0, 0, 0), "sweeps-all")
+    assert frontier.items() == ["sweeps-all"]
+
+
+@given(vectors_2d)
+@settings(max_examples=120, deadline=None)
+def test_streaming_frontier_matches_batch_front_set(vectors):
+    """Feeding points one by one yields exactly the batch front's vector set."""
+    frontier = ParetoFrontier()
+    for index, vector in enumerate(vectors):
+        frontier.add(vector, index)
+    expected = sorted(tuple(vectors[i]) for i in pareto_front_indices(vectors))
+    assert sorted(frontier.vectors()) == expected

@@ -1,0 +1,125 @@
+"""Tests for campaign runs and the ``python -m repro.engine`` CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.__main__ import build_parser, main
+from repro.engine.jobs import CampaignSpec
+from repro.engine.runner import SUMMARY_HEADERS, CampaignRunner
+from repro.utils.serialization import from_json, to_json
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    """A fast campaign: two H.264 kernels, a 1x1 sharing grid."""
+    return CampaignSpec(
+        name="smoke",
+        suites=("h264",),
+        max_rows_shared=1,
+        max_cols_shared=1,
+        workers=2,
+        backend="thread",
+        chunk_size=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def campaign_outcome(small_spec, tmp_path_factory):
+    cache_dir = tmp_path_factory.mktemp("cache")
+    report, results = CampaignRunner(small_spec, cache_dir=cache_dir).run()
+    return report, results, cache_dir
+
+
+def test_campaign_report_shape(campaign_outcome, small_spec):
+    report, results, _ = campaign_outcome
+    assert report.campaign == "smoke"
+    assert [suite.suite for suite in report.suites] == ["h264"]
+    assert set(results) == {"h264"}
+    suite = report.suites[0]
+    assert len(suite.kernels) == 2  # the two H.264 extension kernels
+    assert suite.num_candidates == len(small_spec.candidate_grid())
+    assert suite.num_feasible <= suite.num_candidates
+    assert suite.num_pareto <= suite.num_feasible
+    assert suite.base_area_slices > 0
+    assert report.wall_seconds > 0
+    assert len(report.summary_rows()[0]) == len(SUMMARY_HEADERS)
+
+
+def test_campaign_exploration_results_are_complete(campaign_outcome, small_spec):
+    _, results, _ = campaign_outcome
+    exploration = results["h264"]
+    assert len(exploration.evaluated) == len(small_spec.candidate_grid())
+    assert exploration.base.architecture.name == "Base"
+
+
+def test_second_campaign_run_hits_cache(small_spec, campaign_outcome):
+    _, _, cache_dir = campaign_outcome
+    report, _ = CampaignRunner(small_spec, cache_dir=cache_dir).run()
+    assert report.cache_misses == 0
+    assert report.cache_hit_rate >= 0.9
+
+
+def test_campaign_report_serialises(campaign_outcome):
+    report, _, _ = campaign_outcome
+    payload = from_json(to_json(report))
+    assert payload["campaign"] == "smoke"
+    assert payload["suites"][0]["suite"] == "h264"
+    assert payload["suites"][0]["cache_misses"] == report.suites[0].cache_misses
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+def test_cli_parser_defaults():
+    args = build_parser().parse_args([])
+    assert args.suites is None
+    assert args.backend == "thread"
+    assert args.workers == 1
+
+
+def test_cli_runs_campaign_and_writes_report(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    output = tmp_path / "report.json"
+    argv = [
+        "--suite", "h264",
+        "--max-rows-shared", "1",
+        "--max-cols-shared", "1",
+        "--workers", "2",
+        "--cache-dir", str(cache_dir),
+        "--output", str(output),
+    ]
+    assert main(argv) == 0
+    printed = capsys.readouterr().out
+    assert "h264" in printed
+    assert output.exists()
+    payload = json.loads(output.read_text())
+    assert payload["report"]["campaign"] == "campaign"
+    assert payload["suite_selections"]["h264"]["selected"] is not None
+
+    # Second identical invocation: served from the cache.
+    assert main(argv) == 0
+    payload = json.loads(output.read_text())
+    assert payload["cache_hit_rate"] >= 0.9
+
+
+def test_cli_reports_domain_errors_cleanly(capsys):
+    assert main(["--suite", "h264", "--workers", "0", "--no-cache", "--quiet"]) == 2
+    captured = capsys.readouterr()
+    assert "error: workers must be at least 1" in captured.err
+    assert main(["--suite", "h264", "--stages", "0", "--no-cache", "--quiet"]) == 2
+    assert "invalid pipeline stage count" in capsys.readouterr().err
+
+
+def test_cli_no_cache_and_quiet(tmp_path, capsys):
+    argv = [
+        "--suite", "h264",
+        "--max-rows-shared", "1",
+        "--max-cols-shared", "0",
+        "--no-cache",
+        "--quiet",
+    ]
+    assert main(argv) == 0
+    assert capsys.readouterr().out == ""
