@@ -153,6 +153,18 @@ class ConfigurationContext:
         """Estimated configuration storage for the whole context."""
         return self.num_cycles * self.rows * self.cols * bits_per_word
 
+    def renamed(self, name: str) -> "ConfigurationContext":
+        """Shallow copy of this context under a different name.
+
+        The immutable configuration words are shared; only the container
+        is rebuilt (used when a cached context is served for a structurally
+        identical design point with a different name).
+        """
+        clone = ConfigurationContext(self.rows, self.cols, name=name)
+        clone._words = dict(self._words)
+        clone._num_cycles = self._num_cycles
+        return clone
+
 
 @dataclass
 class ConfigurationCacheSpec:

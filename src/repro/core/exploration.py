@@ -159,6 +159,38 @@ class RSPDesignSpaceExplorer:
         self.timing_model = timing_model or TimingModel()
         self.stall_estimator = StallEstimator()
 
+    @classmethod
+    def for_kernels(
+        cls,
+        kernels: Sequence,
+        array: Optional[ArraySpec] = None,
+        cost_model: Optional[HardwareCostModel] = None,
+        timing_model: Optional[TimingModel] = None,
+        store=None,
+    ) -> "RSPDesignSpaceExplorer":
+        """Build an explorer by profiling ``kernels`` through the mapping pipeline.
+
+        This is the upper half of the paper's Figure 7 as a one-liner: the
+        kernels are scheduled on the base architecture and summarised into
+        :class:`~repro.core.stalls.ScheduleProfile` objects via the staged
+        pipeline (:mod:`repro.mapping.pipeline`).  Pass a persistent
+        ``store`` (:class:`~repro.engine.artifacts.ArtifactStore`) to fetch
+        previously computed schedules and profiles instead of re-mapping.
+        """
+        from repro.arch.template import base_architecture
+        from repro.mapping.pipeline import MappingPipeline
+
+        array_spec = array or default_array_spec()
+        pipeline = MappingPipeline(
+            base=base_architecture(array_spec.rows, array_spec.cols), store=store
+        )
+        return cls(
+            pipeline.profiles_for(kernels),
+            array=array_spec,
+            cost_model=cost_model,
+            timing_model=timing_model,
+        )
+
     # ------------------------------------------------------------------
     # Evaluation of a single candidate
     # ------------------------------------------------------------------

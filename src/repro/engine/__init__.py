@@ -47,6 +47,7 @@ runs a campaign and writes the JSON report; an identical second
 invocation is served almost entirely from the cache.
 """
 
+from repro.engine.artifacts import ArtifactStore, ArtifactStoreStats
 from repro.engine.cache import CacheStats, EvaluationCache
 from repro.engine.executor import (
     BACKENDS,
@@ -70,6 +71,8 @@ from repro.engine.runner import CampaignReport, CampaignRunner, SuiteReport
 __all__ = [
     "BACKENDS",
     "SUITE_NAMES",
+    "ArtifactStore",
+    "ArtifactStoreStats",
     "CacheStats",
     "CampaignReport",
     "CampaignRunner",

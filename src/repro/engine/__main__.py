@@ -8,7 +8,11 @@ Runs a multi-suite exploration campaign and writes a JSON report, e.g.::
 
 The cache directory persists across invocations; a second identical run
 is served almost entirely from it (the report's ``cache_hits`` /
-``cache_misses`` counters show the effect).
+``cache_misses`` counters show the effect).  The mapping-artifact store
+(``--artifact-dir``, defaulting to the cache directory) does the same for
+the mapping stages: warm runs fetch base schedules and profiles by
+content hash instead of re-scheduling, which the report's
+``artifact_hits`` counter and per-stage ``mapping_stages`` timings show.
 """
 
 from __future__ import annotations
@@ -87,6 +91,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the persistent evaluation cache"
     )
     parser.add_argument(
+        "--artifact-dir",
+        type=Path,
+        default=None,
+        help="persistent mapping-artifact store directory (default: the "
+        "evaluation cache directory; --no-cache therefore also disables "
+        "the store unless an explicit --artifact-dir is given)",
+    )
+    parser.add_argument(
+        "--no-artifact-cache",
+        action="store_true",
+        help="disable the persistent mapping-artifact store "
+        "(base schedules and profiles are recomputed every run)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="write the JSON campaign report here"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress the summary table")
@@ -118,7 +136,17 @@ def _run(args: argparse.Namespace) -> int:
         chunk_size=args.chunk_size,
         early_reject=args.early_reject,
     )
-    runner = CampaignRunner(spec, cache_dir=None if args.no_cache else args.cache_dir)
+    artifact_dir = None
+    if not args.no_artifact_cache:
+        if args.artifact_dir is not None:
+            artifact_dir = args.artifact_dir
+        elif not args.no_cache:
+            artifact_dir = args.cache_dir
+    runner = CampaignRunner(
+        spec,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        artifact_dir=artifact_dir,
+    )
     report, _ = runner.run()
 
     if not args.quiet:
@@ -134,6 +162,16 @@ def _run(args: argparse.Namespace) -> int:
             f"jobs: {report.total_jobs}  cache: {report.cache_hits} hits / "
             f"{report.cache_misses} misses ({100.0 * report.cache_hit_rate:.1f}% hit rate)  "
             f"early-rejected: {report.early_rejected}  wall: {report.wall_seconds:.2f}s"
+        )
+        stage_summary = "  ".join(
+            f"{stage}: {timing['seconds']:.3f}s"
+            f" ({timing['hits']}h/{timing['misses']}m)"
+            for stage, timing in report.mapping_stages.items()
+        )
+        print(
+            f"artifacts: {report.artifact_hits} hits / {report.artifact_misses} misses  "
+            f"mapping: {report.mapping_seconds:.3f}s"
+            + (f"  [{stage_summary}]" if stage_summary else "")
         )
 
     if args.output is not None:

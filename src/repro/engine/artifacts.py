@@ -1,0 +1,174 @@
+"""Persistent, content-addressed store for pipeline stage artifacts.
+
+The evaluation cache (:mod:`repro.engine.cache`) memoises *numbers* — the
+derived metrics of a design-point evaluation.  The artifact store is its
+sibling for *structures*: the per-stage products of the mapping pipeline
+(base schedules, schedule profiles, rearranged schedules, configuration
+contexts) that are expensive to recompute but deterministic functions of
+their inputs.
+
+Layout
+------
+The store shares the evaluation cache's directory layout: pointing both at
+the same ``cache_dir`` gives one self-contained exploration cache on disk::
+
+    <cache_dir>/evals-<context_hash>.jsonl     (evaluation cache)
+    <cache_dir>/artifacts/<stage>/<key>.pkl    (artifact store)
+
+Each artifact file is the pickled stage output, addressed by the stage name
+and the SHA-256 *input* hash computed by the pipeline
+(:func:`repro.mapping.pipeline.stage_key`).  Because keys are content
+hashes over the full upstream input chain, a record can never be stale:
+any change to the kernel DFG, the architecture or an upstream stage
+changes the key.  Corrupt or truncated files (e.g. from an interrupted
+run) are treated as misses and silently overwritten by the next store.
+
+An in-memory layer fronts the disk so a value is unpickled at most once
+per process; with no root directory the store is purely in-memory, which
+is what gives :class:`~repro.mapping.pipeline.MappingPipeline` (and the
+:class:`~repro.mapping.mapper.RSPMapper` facade over it) the seed's
+within-run memoisation behaviour for free.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+#: Length of the key prefix used in artifact file names.  32 hex digits
+#: (128 bits) keeps paths short while making collisions implausible.
+KEY_PREFIX_LENGTH = 32
+
+#: Subdirectory of the shared cache directory holding artifact files.
+ARTIFACT_SUBDIR = "artifacts"
+
+
+@dataclass
+class ArtifactStoreStats:
+    """Hit/miss counters of one artifact store, total and per stage."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    by_stage: Dict[str, Dict[str, int]] = field(default_factory=dict)
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the store (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def record(self, stage: str, event: str) -> None:
+        """Bump the ``event`` counter (``"hits"``/``"misses"``/``"stores"``)."""
+        setattr(self, event, getattr(self, event) + 1)
+        counters = self.by_stage.setdefault(stage, {"hits": 0, "misses": 0, "stores": 0})
+        counters[event] += 1
+
+
+class ArtifactStore:
+    """A keyed store of pipeline stage outputs.
+
+    Parameters
+    ----------
+    root:
+        Cache directory shared with :class:`~repro.engine.cache.EvaluationCache`;
+        artifacts live under ``<root>/artifacts/``.  ``None`` keeps the
+        store purely in memory.
+    """
+
+    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.stats = ArtifactStoreStats()
+        self._memory: Dict[Tuple[str, str], Any] = {}
+
+    @property
+    def persistent(self) -> bool:
+        return self.root is not None
+
+    @property
+    def directory(self) -> Optional[Path]:
+        """On-disk artifact directory (``None`` for in-memory stores)."""
+        if self.root is None:
+            return None
+        return self.root / ARTIFACT_SUBDIR
+
+    def _path(self, stage: str, key: str) -> Path:
+        assert self.directory is not None
+        return self.directory / stage / f"{key[:KEY_PREFIX_LENGTH]}.pkl"
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def contains(self, stage: str, key: str) -> bool:
+        """True when the artifact is available without recomputation."""
+        if (stage, key) in self._memory:
+            return True
+        return self.persistent and self._path(stage, key).exists()
+
+    # ------------------------------------------------------------------
+    # Fetch / store
+    # ------------------------------------------------------------------
+    def fetch(self, stage: str, key: str) -> Tuple[bool, Any]:
+        """Look up the artifact of ``(stage, key)``.
+
+        Returns ``(True, value)`` on a hit and ``(False, None)`` on a miss
+        (so ``None`` remains a storable value).  Disk hits populate the
+        in-memory layer, making repeated fetches return the same object.
+        """
+        memory_key = (stage, key)
+        if memory_key in self._memory:
+            self.stats.record(stage, "hits")
+            return True, self._memory[memory_key]
+        if self.persistent:
+            path = self._path(stage, key)
+            if path.exists():
+                try:
+                    with path.open("rb") as handle:
+                        value = pickle.load(handle)
+                except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
+                    self.stats.corrupt += 1
+                else:
+                    self._memory[memory_key] = value
+                    self.stats.record(stage, "hits")
+                    return True, value
+        self.stats.record(stage, "misses")
+        return False, None
+
+    def put(self, stage: str, key: str, value: Any, persist: bool = True) -> None:
+        """Record ``value`` under ``(stage, key)``, persisting when backed.
+
+        ``persist=False`` keeps the value in the in-memory layer only —
+        used for stages declared non-persistent in the pipeline.
+        """
+        self._memory[(stage, key)] = value
+        self.stats.record(stage, "stores")
+        if not self.persistent or not persist:
+            return
+        path = self._path(stage, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so neither an interrupted run nor two writers
+        # racing on the same key ever leave a truncated artifact under the
+        # final name (mkstemp gives every writer its own temp file).
+        descriptor, temporary = tempfile.mkstemp(
+            prefix=f"{path.name}.", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(temporary, path)
+        except BaseException:
+            try:
+                os.unlink(temporary)
+            except OSError:
+                pass
+            raise

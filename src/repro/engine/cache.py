@@ -22,7 +22,8 @@ Each line is one completed evaluation, keyed by the job's content hash::
 Only derived *numbers* are stored; the architecture object is rebuilt from
 the job's parameters on a hit, so the format stays small and stable.
 Corrupt or truncated lines (e.g. from an interrupted run) are skipped on
-load.  Because keys are content hashes, a record can never be stale: any
+load, counted in :attr:`EvaluationCache.corrupt_lines` and reported once
+via :class:`RuntimeWarning`.  Because keys are content hashes, a record can never be stale: any
 change to the profiles, the array or the model calibration changes the
 context hash and therefore the file and the keys.
 """
@@ -30,6 +31,7 @@ context hash and therefore the file and the keys.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional
@@ -72,6 +74,8 @@ class EvaluationCache:
     def __init__(self, path: Optional[Path] = None) -> None:
         self.path = Path(path) if path is not None else None
         self.stats = CacheStats()
+        #: Number of corrupt/foreign lines skipped while loading the file.
+        self.corrupt_lines = 0
         self._records: Dict[str, dict] = {}
         if self.path is not None and self.path.exists():
             self._load()
@@ -105,8 +109,16 @@ class EvaluationCache:
                     float(record["critical_path_ns"])
                     record["stalls"]
                 except (ValueError, KeyError, TypeError):
-                    continue  # interrupted write or foreign line
+                    self.corrupt_lines += 1  # interrupted write or foreign line
+                    continue
                 self._records[key] = record
+        if self.corrupt_lines:
+            warnings.warn(
+                f"evaluation cache {self.path}: skipped {self.corrupt_lines} "
+                f"corrupt line(s); the affected evaluations will be recomputed",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def put(self, key: str, evaluation: DesignPointEvaluation) -> None:
         """Record ``evaluation`` under ``key`` and append it to the file."""

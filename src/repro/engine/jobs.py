@@ -18,8 +18,6 @@ suites and overlapping candidate grids.
 
 from __future__ import annotations
 
-import hashlib
-import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -30,7 +28,7 @@ from repro.core.rsp_params import RSPParameters, enumerate_design_space
 from repro.core.stalls import ScheduleProfile
 from repro.core.timing_model import TimingModel
 from repro.errors import ExplorationError
-from repro.utils.serialization import dataclass_to_dict
+from repro.utils.serialization import content_hash
 
 #: Suites a campaign can run, in report order.  Values are import paths
 #: resolved lazily so a campaign spec stays a plain, hashable value object.
@@ -58,12 +56,10 @@ def suite_kernels(name: str):
 def hash_payload(payload: object) -> str:
     """SHA-256 over the canonical JSON form of ``payload``.
 
-    Dataclasses, enums, tuples and paths are normalised through
-    :func:`repro.utils.serialization.dataclass_to_dict`; keys are sorted so
-    the digest is stable across processes and interpreter runs.
+    Alias of :func:`repro.utils.serialization.content_hash`, the hashing
+    convention shared with the mapping pipeline's artifact keys.
     """
-    canonical = json.dumps(dataclass_to_dict(payload), sort_keys=True, separators=(",", ":"))
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return content_hash(payload)
 
 
 def evaluation_context_hash(

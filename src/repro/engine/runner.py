@@ -2,13 +2,16 @@
 
 A campaign walks its suites in order.  For every suite the runner
 
-1. maps each kernel onto the base architecture and extracts its
-   :class:`~repro.core.stalls.ScheduleProfile` (the paper flow's "initial
-   configuration contexts"),
+1. obtains each kernel's :class:`~repro.core.stalls.ScheduleProfile` (the
+   paper flow's "initial configuration contexts") through its *profile
+   provider* — by default the staged mapping pipeline
+   (:class:`~repro.mapping.pipeline.MappingPipeline`), so with a warm
+   artifact store the base scheduling work is fetched instead of re-run,
 2. runs the candidate grid through the evaluation engine — batched,
    optionally parallel, backed by the persistent cache, optionally with
    the dominance early-reject filter,
-3. records the outcome as a :class:`SuiteReport`.
+3. records the outcome as a :class:`SuiteReport`, including per-stage
+   mapping timings and artifact-store hit counts.
 
 The aggregate :class:`CampaignReport` is a plain dataclass tree, so it
 serialises losslessly through :func:`repro.utils.serialization.to_json`
@@ -18,11 +21,13 @@ and is what ``python -m repro.engine`` writes to disk.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.exploration import ExplorationResult, RSPDesignSpaceExplorer
+from repro.core.stalls import ScheduleProfile
+from repro.engine.artifacts import ArtifactStore
 from repro.engine.cache import EvaluationCache
 from repro.engine.executor import (
     EngineRunStats,
@@ -30,8 +35,13 @@ from repro.engine.executor import (
     run_exploration,
 )
 from repro.engine.jobs import CampaignSpec, evaluation_context_hash, suite_kernels
+from repro.ir.loops import Kernel
 from repro.mapping.mapper import RSPMapper
-from repro.mapping.profile import extract_profile
+from repro.mapping.pipeline import stage_timings_as_dict
+
+#: Hook supplying the base-schedule profiles of one suite.  Receives the
+#: suite name and its kernels; returns profiles keyed by kernel name.
+ProfileProvider = Callable[[str, Sequence[Kernel]], Dict[str, ScheduleProfile]]
 
 
 @dataclass
@@ -54,6 +64,10 @@ class SuiteReport:
     cache_misses: int
     profile_seconds: float
     explore_seconds: float
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    mapping_seconds: float = 0.0
+    mapping_stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def area_reduction_percent(self) -> Optional[float]:
@@ -78,6 +92,11 @@ class CampaignReport:
     cache_misses: int
     early_rejected: int
     wall_seconds: float
+    artifact_dir: Optional[str] = None
+    artifact_hits: int = 0
+    artifact_misses: int = 0
+    mapping_seconds: float = 0.0
+    mapping_stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -104,6 +123,7 @@ class CampaignReport:
                     ),
                     suite.cache_hits,
                     suite.cache_misses,
+                    round(suite.mapping_seconds, 3),
                     round(suite.explore_seconds, 3),
                 ]
             )
@@ -122,6 +142,7 @@ SUMMARY_HEADERS: Tuple[str, ...] = (
     "area-R%",
     "hits",
     "misses",
+    "mapping(s)",
     "explore(s)",
 )
 
@@ -137,8 +158,18 @@ class CampaignRunner:
         Directory for the persistent evaluation store; ``None`` disables
         persistence (evaluations are still memoised within the run).
     mapper:
-        Base-architecture mapper to reuse; a fresh one (with its own
-        base-schedule cache) is created when omitted.
+        Pipeline-backed mapper to reuse; a fresh one is created when
+        omitted, rooted at ``artifact_dir`` when given.
+    artifact_dir:
+        Directory for the persistent mapping-artifact store (typically the
+        same as ``cache_dir`` — the store nests under ``artifacts/``);
+        ``None`` keeps artifacts in memory.  Ignored when ``mapper`` is
+        supplied.
+    profile_provider:
+        Hook producing each suite's base-schedule profiles.  Defaults to
+        the mapper's staged pipeline, so warm artifact stores serve
+        profiles without re-mapping; replace it to feed pre-computed or
+        remotely fetched profiles into a campaign.
     """
 
     def __init__(
@@ -146,10 +177,23 @@ class CampaignRunner:
         spec: CampaignSpec,
         cache_dir: Optional[Path] = None,
         mapper: Optional[RSPMapper] = None,
+        artifact_dir: Optional[Path] = None,
+        profile_provider: Optional[ProfileProvider] = None,
     ) -> None:
         self.spec = spec
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
-        self.mapper = mapper or RSPMapper()
+        self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        if mapper is None:
+            mapper = RSPMapper(store=ArtifactStore(self.artifact_dir))
+        self.mapper = mapper
+        self.pipeline = mapper.pipeline
+        self.profile_provider: ProfileProvider = profile_provider or self._pipeline_profiles
+
+    def _pipeline_profiles(
+        self, suite_name: str, kernels: Sequence[Kernel]
+    ) -> Dict[str, ScheduleProfile]:
+        """Default profile provider: the store-backed mapping pipeline."""
+        return self.pipeline.profiles_for(kernels)
 
     def run(self) -> Tuple[CampaignReport, Dict[str, ExplorationResult]]:
         """Run every suite; returns the report and per-suite exploration results."""
@@ -164,15 +208,20 @@ class CampaignRunner:
         results: Dict[str, ExplorationResult] = {}
         cache_paths: List[str] = []
         totals = EngineRunStats()
+        run_snapshot = self.pipeline.stats.snapshot()
+        store_stats = self.pipeline.store.stats
+        store_hits_before = store_stats.hits
+        store_misses_before = store_stats.misses
 
         for suite_name in self.spec.suites:
+            stage_snapshot = self.pipeline.stats.snapshot()
+            store_suite_hits = store_stats.hits
+            store_suite_misses = store_stats.misses
             profile_started = time.perf_counter()
             kernels = suite_kernels(suite_name)
-            profiles = {}
-            for kernel in kernels:
-                result = self.mapper.map_kernel(kernel, self.mapper.base)
-                profiles[kernel.name] = extract_profile(result.base_schedule, result.dfg)
+            profiles = self.profile_provider(suite_name, kernels)
             profile_seconds = time.perf_counter() - profile_started
+            stage_delta = self.pipeline.stats.since(stage_snapshot)
 
             explorer = RSPDesignSpaceExplorer(profiles, array=self.mapper.base.array)
             cache: Optional[EvaluationCache] = None
@@ -219,6 +268,10 @@ class CampaignRunner:
                     cache_misses=stats.cache_misses,
                     profile_seconds=profile_seconds,
                     explore_seconds=stats.wall_seconds,
+                    artifact_hits=store_stats.hits - store_suite_hits,
+                    artifact_misses=store_stats.misses - store_suite_misses,
+                    mapping_seconds=sum(delta.seconds for delta in stage_delta.values()),
+                    mapping_stages=stage_timings_as_dict(stage_delta),
                 )
             )
             totals.total_jobs += stats.total_jobs
@@ -226,6 +279,8 @@ class CampaignRunner:
             totals.cache_misses += stats.cache_misses
             totals.early_rejected += stats.early_rejected
 
+        run_delta = self.pipeline.stats.since(run_snapshot)
+        artifact_directory = self.pipeline.store.directory
         report = CampaignReport(
             campaign=self.spec.name,
             suites=suite_reports,
@@ -239,5 +294,10 @@ class CampaignRunner:
             cache_misses=totals.cache_misses,
             early_rejected=totals.early_rejected,
             wall_seconds=time.perf_counter() - started,
+            artifact_dir=str(artifact_directory) if artifact_directory is not None else None,
+            artifact_hits=store_stats.hits - store_hits_before,
+            artifact_misses=store_stats.misses - store_misses_before,
+            mapping_seconds=sum(delta.seconds for delta in run_delta.values()),
+            mapping_stages=stage_timings_as_dict(run_delta),
         )
         return report, results

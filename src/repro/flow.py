@@ -36,9 +36,9 @@ from repro.core.cost_model import HardwareCostModel
 from repro.errors import ExplorationError
 from repro.ir.loops import Kernel
 from repro.mapping.mapper import MappingResult, RSPMapper
-from repro.mapping.profile import extract_profile
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.engine.artifacts import ArtifactStore
     from repro.engine.cache import EvaluationCache
     from repro.engine.executor import ExecutorConfig
 
@@ -81,6 +81,7 @@ def run_rsp_flow(
     timing_model: Optional[TimingModel] = None,
     executor: Optional["ExecutorConfig"] = None,
     cache: Optional["EvaluationCache"] = None,
+    artifact_store: Optional["ArtifactStore"] = None,
 ) -> FlowOutcome:
     """Run the complete RSP design flow for an application domain.
 
@@ -105,12 +106,17 @@ def run_rsp_flow(
         cache so repeated flows never recompute an evaluation.  The
         exploration step always runs through the engine; these arguments
         only tune it.
+    artifact_store:
+        Optional persistent :class:`~repro.engine.artifacts.ArtifactStore`
+        backing the staged mapping pipeline: base schedules, profiles and
+        rearranged schedules of repeated flows are fetched instead of
+        recomputed.  The flow's outputs are identical either way.
     """
     if not kernels:
         raise ExplorationError("the RSP flow needs at least one kernel")
     array_spec = array or default_array_spec()
     base = base_architecture(array_spec.rows, array_spec.cols)
-    mapper = RSPMapper(base=base)
+    mapper = RSPMapper(base=base, store=artifact_store)
     timing_model = timing_model or TimingModel()
     cost_model = cost_model or HardwareCostModel()
 
@@ -118,9 +124,8 @@ def run_rsp_flow(
     base_mappings: Dict[str, MappingResult] = {}
     profiles: Dict[str, ScheduleProfile] = {}
     for kernel in kernels:
-        result = mapper.map_kernel(kernel, base)
-        base_mappings[kernel.name] = result
-        profiles[kernel.name] = extract_profile(result.base_schedule, result.dfg)
+        base_mappings[kernel.name] = mapper.map_kernel(kernel, base)
+        profiles[kernel.name] = mapper.pipeline.profile_artifact(kernel).value
 
     # Lower half of Figure 7: RSP exploration.
     explorer = RSPDesignSpaceExplorer(

@@ -11,9 +11,34 @@ from repro.mapping.rearrange import (
 )
 from repro.mapping.context_gen import context_statistics, generate_context
 from repro.mapping.profile import extract_profile, extract_profiles
-from repro.mapping.mapper import MappingResult, RSPMapper
+from repro.mapping.pipeline import (
+    PIPELINE_STAGES,
+    STAGE_NAMES,
+    Artifact,
+    MappingPipeline,
+    MappingResult,
+    PipelineStats,
+    RearrangedSchedule,
+    StageSpec,
+    StageTiming,
+    architecture_fingerprint,
+    dfg_fingerprint,
+    stage_key,
+)
+from repro.mapping.mapper import RSPMapper
 
 __all__ = [
+    "PIPELINE_STAGES",
+    "STAGE_NAMES",
+    "Artifact",
+    "MappingPipeline",
+    "PipelineStats",
+    "RearrangedSchedule",
+    "StageSpec",
+    "StageTiming",
+    "architecture_fingerprint",
+    "dfg_fingerprint",
+    "stage_key",
     "Schedule",
     "ScheduledOperation",
     "ResourceTracker",

@@ -1,8 +1,12 @@
 """Top-level kernel-to-architecture mapping interface.
 
-:class:`RSPMapper` bundles the base scheduling, the RS/RP rearrangement and
-the configuration-context generation into the single entry point used by
-examples, benchmarks and the evaluation harness:
+:class:`RSPMapper` is the single entry point used by examples, benchmarks
+and the evaluation harness.  Since the staged refactor it is a thin facade
+over :class:`~repro.mapping.pipeline.MappingPipeline`: base scheduling,
+RS/RP rearrangement and context generation run as content-hashed pipeline
+stages, memoised by an :class:`~repro.engine.artifacts.ArtifactStore`
+(in-memory by default, which reproduces the seed mapper's per-instance
+caching; pass a persistent store to share schedules across processes).
 
 >>> from repro.arch import base_architecture, rsp_architecture
 >>> from repro.kernels import get_kernel
@@ -15,47 +19,18 @@ True
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
-from repro.arch.config_cache import ConfigurationContext
-from repro.arch.template import ArchitectureSpec, base_architecture
-from repro.errors import MappingError
+from repro.arch.template import ArchitectureSpec
 from repro.ir.dfg import DFG
 from repro.ir.loops import Kernel
-from repro.mapping.context_gen import generate_context
-from repro.mapping.loop_pipelining import LoopPipeliningScheduler
-from repro.mapping.rearrange import (
-    RearrangementResult,
-    evaluate_rearrangement,
-    rearrange_schedule,
-)
+from repro.mapping.pipeline import MappingPipeline, MappingResult
 from repro.mapping.schedule import Schedule
 
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.engine.artifacts import ArtifactStore
 
-@dataclass
-class MappingResult:
-    """Everything produced by mapping one kernel onto one design point."""
-
-    kernel: str
-    architecture: ArchitectureSpec
-    dfg: DFG
-    base_schedule: Schedule
-    schedule: Schedule
-    cycles: int
-    stall_cycles: int
-    base_cycles: int
-    context: Optional[ConfigurationContext] = None
-
-    @property
-    def max_multiplications_per_cycle(self) -> int:
-        """Peak multiplications executing in one cycle (paper Table 3 metric)."""
-        return self.base_schedule.max_multiplications_per_cycle()
-
-    @property
-    def cycle_overhead_vs_base(self) -> int:
-        """Extra cycles relative to the base architecture mapping."""
-        return self.cycles - self.base_cycles
+__all__ = ["MappingResult", "RSPMapper"]
 
 
 class RSPMapper:
@@ -65,35 +40,43 @@ class RSPMapper:
     nine paper architectures only schedules each kernel once and then
     rearranges, exactly like the paper's flow (base mapping happens in the
     upper half of Figure 7, rearrangement in the lower half).
+
+    Parameters
+    ----------
+    base:
+        Reference base architecture; must be a base design.
+    generate_contexts:
+        Whether :meth:`map_kernel` produces configuration contexts.
+    store:
+        Optional persistent artifact store; defaults to in-memory
+        memoisation (the seed behaviour).
+    pipeline:
+        An existing pipeline to wrap; overrides the other arguments.
     """
 
-    def __init__(self, base: Optional[ArchitectureSpec] = None,
-                 generate_contexts: bool = False) -> None:
-        self.base = base or base_architecture()
-        if not self.base.is_base:
-            raise MappingError("the reference architecture of RSPMapper must be a base design")
-        self.generate_contexts = generate_contexts
-        self._dfg_cache: Dict[str, DFG] = {}
-        self._base_schedule_cache: Dict[str, Schedule] = {}
+    def __init__(
+        self,
+        base: Optional[ArchitectureSpec] = None,
+        generate_contexts: bool = False,
+        store: Optional["ArtifactStore"] = None,
+        pipeline: Optional[MappingPipeline] = None,
+    ) -> None:
+        self.pipeline = pipeline or MappingPipeline(
+            base=base, store=store, generate_contexts=generate_contexts
+        )
+        self.base = self.pipeline.base
+        self.generate_contexts = self.pipeline.generate_contexts
 
     # ------------------------------------------------------------------
     # Base mapping
     # ------------------------------------------------------------------
     def build_dfg(self, kernel: Kernel, iterations: Optional[int] = None) -> DFG:
         """Materialise (and cache) the unrolled DFG of ``kernel``."""
-        key = f"{kernel.name}@{iterations or kernel.iterations}"
-        if key not in self._dfg_cache:
-            self._dfg_cache[key] = kernel.build(iterations)
-        return self._dfg_cache[key]
+        return self.pipeline.dfg_artifact(kernel, iterations).value
 
     def base_schedule(self, kernel: Kernel, iterations: Optional[int] = None) -> Schedule:
         """The initial configuration context (base-architecture schedule)."""
-        key = f"{kernel.name}@{iterations or kernel.iterations}"
-        if key not in self._base_schedule_cache:
-            dfg = self.build_dfg(kernel, iterations)
-            scheduler = LoopPipeliningScheduler(self.base)
-            self._base_schedule_cache[key] = scheduler.schedule(dfg, kernel_name=kernel.name)
-        return self._base_schedule_cache[key]
+        return self.pipeline.base_schedule_artifact(kernel, iterations).value
 
     # ------------------------------------------------------------------
     # Mapping onto a design point
@@ -105,37 +88,7 @@ class RSPMapper:
         iterations: Optional[int] = None,
     ) -> MappingResult:
         """Map ``kernel`` onto ``architecture`` (defaults to the base design)."""
-        target = architecture or self.base
-        if target.array.rows != self.base.array.rows or target.array.cols != self.base.array.cols:
-            raise MappingError(
-                "the target architecture must have the same array dimensions as the base"
-            )
-        dfg = self.build_dfg(kernel, iterations)
-        base_schedule = self.base_schedule(kernel, iterations)
-        if target.is_base:
-            schedule = base_schedule
-            summary = RearrangementResult(
-                kernel=kernel.name,
-                architecture=target.name,
-                base_cycles=base_schedule.length,
-                stall_free_cycles=base_schedule.length,
-                cycles=base_schedule.length,
-            )
-        else:
-            schedule = rearrange_schedule(base_schedule, dfg, target)
-            summary = evaluate_rearrangement(base_schedule, dfg, target)
-        context = generate_context(schedule, dfg) if self.generate_contexts else None
-        return MappingResult(
-            kernel=kernel.name,
-            architecture=target,
-            dfg=dfg,
-            base_schedule=base_schedule,
-            schedule=schedule,
-            cycles=summary.cycles,
-            stall_cycles=summary.stall_cycles,
-            base_cycles=summary.base_cycles,
-            context=context,
-        )
+        return self.pipeline.run(kernel, architecture, iterations)
 
     def map_suite(
         self,

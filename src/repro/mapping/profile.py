@@ -20,6 +20,10 @@ from repro.mapping.schedule import Schedule
 def extract_profile(schedule: Schedule, dfg: DFG) -> ScheduleProfile:
     """Summarise a base-architecture ``schedule`` for stall estimation."""
     issues: List[CriticalOpIssue] = []
+    # One dictionary lookup per successor instead of a membership test plus
+    # a guarded accessor call — this loop runs for every successor of every
+    # multiplication and dominates profile extraction on large kernels.
+    scheduled = schedule.entries_by_name()
     for entry in schedule.operations():
         if not entry.is_multiplication:
             continue
@@ -28,7 +32,8 @@ def extract_profile(schedule: Schedule, dfg: DFG) -> ScheduleProfile:
             successor_op = dfg.operation(successor)
             if successor_op.optype in (OpType.CONST, OpType.NOP):
                 continue
-            if successor in schedule and schedule.get(successor).cycle == entry.finish_cycle:
+            successor_entry = scheduled.get(successor)
+            if successor_entry is not None and successor_entry.cycle == entry.finish_cycle:
                 has_immediate_dependent = True
                 break
         issues.append(

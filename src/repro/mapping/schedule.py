@@ -130,6 +130,15 @@ class Schedule:
         except KeyError as exc:
             raise SchedulingError(f"operation {name!r} is not in the schedule") from exc
 
+    def entries_by_name(self) -> Dict[str, ScheduledOperation]:
+        """The name → scheduled-operation mapping (treat as read-only).
+
+        Hot loops (e.g. profile extraction) use this to replace repeated
+        ``name in schedule`` + ``schedule.get(name)`` pairs with a single
+        dictionary lookup.
+        """
+        return self._by_name
+
     def operations(self) -> List[ScheduledOperation]:
         """All scheduled operations ordered by (cycle, col, row)."""
         return sorted(

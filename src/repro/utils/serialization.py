@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import dataclasses
 import enum
+import hashlib
 import json
 from pathlib import Path
 from typing import Any, Union
@@ -30,6 +31,19 @@ def dataclass_to_dict(value: Any) -> Any:
     if isinstance(value, Path):
         return str(value)
     return value
+
+
+def content_hash(payload: Any) -> str:
+    """SHA-256 over the canonical JSON form of ``payload``.
+
+    Dataclasses, enums, tuples and paths are normalised through
+    :func:`dataclass_to_dict`; keys are sorted so the digest is stable
+    across processes and interpreter runs.  This is the single hashing
+    convention shared by the evaluation engine (:mod:`repro.engine.jobs`)
+    and the mapping pipeline (:mod:`repro.mapping.pipeline`).
+    """
+    canonical = json.dumps(dataclass_to_dict(payload), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def to_json(value: Any, indent: int = 2) -> str:

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import warnings
 
 import pytest
 
@@ -158,7 +159,7 @@ def test_cache_stats_track_hits_and_misses(tmp_path, context_hash):
     assert cache.stats.hit_rate == 0.5
 
 
-def test_cache_skips_corrupt_lines(tmp_path, context_hash):
+def test_cache_skips_and_counts_corrupt_lines(tmp_path, context_hash):
     explorer = RSPDesignSpaceExplorer(make_profiles())
     job = EvaluationJob(paper_parameters(1, pipelined=False))
     key = job.content_hash(context_hash)
@@ -169,11 +170,26 @@ def test_cache_skips_corrupt_lines(tmp_path, context_hash):
     with path.open("a", encoding="utf-8") as handle:
         handle.write("{truncated json\n")
         handle.write(json.dumps({"key": "missing-fields"}) + "\n")
-        handle.write("\n")
+        handle.write("\n")  # blank lines are not corruption
 
-    reloaded = EvaluationCache(path)
+    with pytest.warns(RuntimeWarning, match=r"skipped 2 corrupt line\(s\)"):
+        reloaded = EvaluationCache(path)
+    assert reloaded.corrupt_lines == 2
     assert len(reloaded) == 1
     assert reloaded.get(key, job, explorer.array) is not None
+
+
+def test_cache_loads_clean_file_without_warning(tmp_path, context_hash):
+    explorer = RSPDesignSpaceExplorer(make_profiles())
+    job = EvaluationJob(paper_parameters(2, pipelined=False))
+    key = job.content_hash(context_hash)
+    path = tmp_path / "evals.jsonl"
+    EvaluationCache(path).put(key, explorer.evaluate(job.parameters))
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        reloaded = EvaluationCache(path)
+    assert reloaded.corrupt_lines == 0
 
 
 def test_in_memory_cache_needs_no_path(context_hash):

@@ -62,6 +62,48 @@ def test_second_campaign_run_hits_cache(small_spec, campaign_outcome):
     assert report.cache_hit_rate >= 0.9
 
 
+def test_report_carries_mapping_stage_timings(campaign_outcome):
+    report, _, _ = campaign_outcome
+    suite = report.suites[0]
+    assert set(suite.mapping_stages) >= {"build_dfg", "base_schedule", "extract_profile"}
+    assert suite.mapping_stages["base_schedule"]["misses"] == 2  # one per kernel
+    assert suite.mapping_seconds > 0
+    assert report.mapping_stages["base_schedule"]["misses"] == 2
+    assert report.artifact_dir is None  # no artifact_dir configured
+    assert report.artifact_hits == 0
+
+
+def test_warm_artifact_store_skips_mapping(small_spec, tmp_path):
+    artifact_dir = tmp_path / "store"
+    cold, _ = CampaignRunner(small_spec, artifact_dir=artifact_dir).run()
+    warm, _ = CampaignRunner(small_spec, artifact_dir=artifact_dir).run()
+
+    assert cold.artifact_hits == 0
+    assert cold.artifact_dir == str(artifact_dir / "artifacts")
+    assert warm.artifact_hits > 0
+    assert warm.artifact_misses == 0
+    # The warm run fetched profiles directly; base scheduling never ran.
+    assert "base_schedule" not in warm.mapping_stages
+    assert warm.mapping_stages["extract_profile"]["misses"] == 0
+    # Identical selections either way.
+    assert [s.selected for s in warm.suites] == [s.selected for s in cold.suites]
+
+
+def test_profile_provider_hook_overrides_pipeline(small_spec):
+    seen = []
+
+    def provider(suite_name, kernels):
+        seen.append(suite_name)
+        pipeline = CampaignRunner(small_spec).pipeline
+        return pipeline.profiles_for(kernels)
+
+    report, _ = CampaignRunner(small_spec, profile_provider=provider).run()
+    assert seen == ["h264"]
+    # The runner's own pipeline was bypassed, so its stats stay empty.
+    assert report.mapping_stages == {}
+    assert report.suites[0].selected is not None
+
+
 def test_campaign_report_serialises(campaign_outcome):
     report, _, _ = campaign_outcome
     payload = from_json(to_json(report))
@@ -123,3 +165,63 @@ def test_cli_no_cache_and_quiet(tmp_path, capsys):
     ]
     assert main(argv) == 0
     assert capsys.readouterr().out == ""
+
+
+def test_cli_artifact_dir_warm_run_reports_hits(tmp_path, capsys):
+    artifact_dir = tmp_path / "store"
+    output = tmp_path / "report.json"
+    argv = [
+        "--suite", "h264",
+        "--max-rows-shared", "1",
+        "--max-cols-shared", "0",
+        "--no-cache",
+        "--artifact-dir", str(artifact_dir),
+        "--output", str(output),
+    ]
+    assert main(argv) == 0
+    cold = json.loads(output.read_text())["report"]
+    assert cold["artifact_hits"] == 0
+    assert cold["mapping_stages"]["base_schedule"]["misses"] == 2
+    assert "artifacts:" in capsys.readouterr().out
+
+    assert main(argv) == 0
+    warm = json.loads(output.read_text())["report"]
+    assert warm["artifact_hits"] > 0
+    assert "base_schedule" not in warm["mapping_stages"]
+    assert warm["artifact_dir"] == str(artifact_dir / "artifacts")
+
+
+def test_cli_no_artifact_cache_disables_the_store(tmp_path):
+    output = tmp_path / "report.json"
+    argv = [
+        "--suite", "h264",
+        "--max-rows-shared", "1",
+        "--max-cols-shared", "0",
+        "--cache-dir", str(tmp_path / "cache"),
+        "--no-artifact-cache",
+        "--quiet",
+        "--output", str(output),
+    ]
+    assert main(argv) == 0
+    assert main(argv) == 0  # second run: evaluation cache warm, artifacts off
+    payload = json.loads(output.read_text())["report"]
+    assert payload["artifact_dir"] is None
+    assert payload["artifact_hits"] == 0
+    assert payload["mapping_stages"]["base_schedule"]["misses"] == 2
+
+
+def test_cli_artifact_dir_defaults_to_cache_dir(tmp_path):
+    cache_dir = tmp_path / "cache"
+    output = tmp_path / "report.json"
+    argv = [
+        "--suite", "h264",
+        "--max-rows-shared", "1",
+        "--max-cols-shared", "0",
+        "--cache-dir", str(cache_dir),
+        "--quiet",
+        "--output", str(output),
+    ]
+    assert main(argv) == 0
+    payload = json.loads(output.read_text())
+    assert payload["report"]["artifact_dir"] == str(cache_dir / "artifacts")
+    assert (cache_dir / "artifacts" / "base_schedule").is_dir()

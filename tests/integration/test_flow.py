@@ -80,3 +80,32 @@ def test_flow_base_only_domain_can_select_base():
     if outcome.selected_architecture is None:
         assert outcome.rsp_mappings == {}
         assert outcome.total_selected_cycles() == outcome.total_base_cycles()
+
+
+def test_flow_with_artifact_store_is_identical_and_warm(tmp_path):
+    """A persistent artifact store leaves the flow's outputs unchanged."""
+    from repro.engine.artifacts import ArtifactStore
+
+    kernels = [get_kernel("ICCG")]
+    plain = run_rsp_flow(kernels)
+    cold = run_rsp_flow(kernels, artifact_store=ArtifactStore(tmp_path))
+    warm = run_rsp_flow(kernels, artifact_store=ArtifactStore(tmp_path))
+
+    for outcome in (cold, warm):
+        assert outcome.selected_name == plain.selected_name
+        assert outcome.profiles == plain.profiles
+        assert outcome.total_selected_cycles() == plain.total_selected_cycles()
+
+
+def test_explorer_for_kernels_matches_flow_profiles(tmp_path):
+    """The explorer convenience constructor profiles through the pipeline."""
+    from repro.core.exploration import RSPDesignSpaceExplorer
+    from repro.engine.artifacts import ArtifactStore
+
+    kernels = [get_kernel("ICCG"), get_kernel("MVM")]
+    explorer = RSPDesignSpaceExplorer.for_kernels(kernels, store=ArtifactStore(tmp_path))
+    assert set(explorer.profiles) == {"ICCG", "MVM"}
+    assert explorer.profiles == run_rsp_flow(kernels).profiles
+    # Second construction from the same store: profiles come back identical.
+    rebuilt = RSPDesignSpaceExplorer.for_kernels(kernels, store=ArtifactStore(tmp_path))
+    assert rebuilt.profiles == explorer.profiles

@@ -1,0 +1,189 @@
+"""Tests for the staged mapping pipeline and its artifact integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arch import base_architecture, rs_architecture, rsp_architecture
+from repro.engine.artifacts import ArtifactStore
+from repro.errors import MappingError
+from repro.kernels import get_kernel
+from repro.mapping import (
+    PIPELINE_STAGES,
+    STAGE_NAMES,
+    MappingPipeline,
+    RearrangedSchedule,
+    architecture_fingerprint,
+    dfg_fingerprint,
+    stage_key,
+)
+
+
+@pytest.fixture(scope="module")
+def mvm():
+    return get_kernel("MVM")
+
+
+class TestStageDeclarations:
+    def test_stage_order_is_the_paper_flow(self):
+        assert STAGE_NAMES == (
+            "build_dfg",
+            "base_schedule",
+            "extract_profile",
+            "rearrange",
+            "generate_context",
+        )
+
+    def test_stage_io_chains(self):
+        by_name = {stage.name: stage for stage in PIPELINE_STAGES}
+        assert by_name["build_dfg"].output == "dfg"
+        assert "dfg" in by_name["base_schedule"].inputs
+        assert by_name["base_schedule"].output in by_name["extract_profile"].inputs
+        assert by_name["rearrange"].output in by_name["generate_context"].inputs
+
+    def test_only_build_dfg_is_non_persistent(self):
+        transient = [stage.name for stage in PIPELINE_STAGES if not stage.persistent]
+        assert transient == ["build_dfg"]
+
+
+class TestFingerprints:
+    def test_dfg_fingerprint_is_content_based(self, mvm):
+        assert dfg_fingerprint(mvm.build()) == dfg_fingerprint(mvm.build())
+        assert dfg_fingerprint(mvm.build(4)) != dfg_fingerprint(mvm.build(8))
+
+    def test_architecture_fingerprint_ignores_the_name(self):
+        named = rsp_architecture(2)
+        renamed = named.with_name("whatever")
+        assert architecture_fingerprint(named) == architecture_fingerprint(renamed)
+        assert architecture_fingerprint(named) != architecture_fingerprint(rsp_architecture(3))
+
+    def test_stage_keys_separate_stages_and_inputs(self):
+        assert stage_key("a", x="1") != stage_key("b", x="1")
+        assert stage_key("a", x="1") != stage_key("a", x="2")
+        assert stage_key("a", x="1") == stage_key("a", x="1")
+
+
+class TestPipelineBehaviour:
+    def test_requires_base_reference(self):
+        with pytest.raises(MappingError):
+            MappingPipeline(base=rs_architecture(1))
+
+    def test_rearrange_rejects_base_target(self, mvm):
+        pipeline = MappingPipeline()
+        with pytest.raises(MappingError):
+            pipeline.rearrange_artifact(mvm, base_architecture())
+
+    def test_run_matches_mapper_contract(self, mvm):
+        pipeline = MappingPipeline()
+        result = pipeline.run(mvm, rsp_architecture(2))
+        assert result.kernel == "MVM"
+        assert result.cycles >= result.base_cycles
+        result.schedule.validate(result.dfg)
+
+    def test_base_run_reuses_base_schedule_object(self, mvm):
+        pipeline = MappingPipeline()
+        result = pipeline.run(mvm, base_architecture())
+        assert result.schedule is result.base_schedule
+        assert result.stall_cycles == 0
+
+    def test_in_memory_store_memoises_stages(self, mvm):
+        pipeline = MappingPipeline()
+        first = pipeline.base_schedule_artifact(mvm)
+        second = pipeline.base_schedule_artifact(mvm)
+        assert second.value is first.value
+        assert not first.from_store and second.from_store
+        assert pipeline.stats.timing("base_schedule").hits == 1
+        assert pipeline.stats.timing("base_schedule").misses == 1
+
+    def test_summary_restamped_with_target_name(self, mvm):
+        pipeline = MappingPipeline()
+        canonical = rsp_architecture(2)
+        renamed = canonical.with_name("rsp(custom)")
+        original = pipeline.rearrange_artifact(mvm, canonical)
+        artifact = pipeline.rearrange_artifact(mvm, renamed)
+        assert artifact.from_store  # structural fingerprint matched
+        assert artifact.value.summary.architecture == "rsp(custom)"
+        assert artifact.value.schedule.architecture.name == "rsp(custom)"
+        # The rebound schedule is entry-identical to the stored one, which
+        # keeps its original name for consumers using that spelling.
+        assert original.value.schedule.architecture.name == "RSP#2"
+        assert [e.name for e in artifact.value.schedule.operations()] == [
+            e.name for e in original.value.schedule.operations()
+        ]
+
+    def test_stats_snapshot_diff(self, mvm):
+        pipeline = MappingPipeline()
+        pipeline.profile_artifact(mvm)
+        snapshot = pipeline.stats.snapshot()
+        pipeline.profile_artifact(mvm)
+        delta = pipeline.stats.since(snapshot)
+        assert delta["extract_profile"].hits == 1
+        assert delta["extract_profile"].misses == 0
+        assert "rearrange" not in delta
+
+
+class TestPersistentPipeline:
+    def test_warm_store_skips_scheduling_entirely(self, tmp_path, mvm):
+        cold = MappingPipeline(store=ArtifactStore(tmp_path))
+        cold_profile = cold.profile_artifact(mvm).value
+
+        warm = MappingPipeline(store=ArtifactStore(tmp_path))
+        warm_profile = warm.profile_artifact(mvm).value
+        assert warm_profile == cold_profile
+        # The profile was fetched by key; the schedule stage never ran.
+        assert "base_schedule" not in warm.stats.stages
+        assert warm.stats.timing("extract_profile").hits == 1
+        assert warm.store.stats.hits == 1
+
+    def test_warm_run_is_identical(self, tmp_path, mvm):
+        target = rsp_architecture(4)
+        cold = MappingPipeline(store=ArtifactStore(tmp_path), generate_contexts=True)
+        cold_result = cold.run(mvm, target)
+
+        warm = MappingPipeline(store=ArtifactStore(tmp_path), generate_contexts=True)
+        warm_result = warm.run(mvm, target)
+
+        assert warm_result.cycles == cold_result.cycles
+        assert warm_result.stall_cycles == cold_result.stall_cycles
+        assert warm_result.base_cycles == cold_result.base_cycles
+        assert [
+            (entry.name, entry.cycle, entry.row, entry.col, entry.shared_unit)
+            for entry in warm_result.schedule.operations()
+        ] == [
+            (entry.name, entry.cycle, entry.row, entry.col, entry.shared_unit)
+            for entry in cold_result.schedule.operations()
+        ]
+        assert (
+            list(warm_result.context.active_words())
+            == list(cold_result.context.active_words())
+        )
+        for stage in ("base_schedule", "rearrange", "generate_context"):
+            assert warm.stats.timing(stage).misses == 0
+
+    def test_context_restamped_for_structural_alias(self, tmp_path, mvm):
+        canonical = rsp_architecture(2)
+        renamed = canonical.with_name("rsp(custom)")
+        store_dir = tmp_path / "ctx"
+        MappingPipeline(store=ArtifactStore(store_dir), generate_contexts=True).run(
+            mvm, canonical
+        )
+        warm = MappingPipeline(store=ArtifactStore(store_dir), generate_contexts=True)
+        result = warm.run(mvm, renamed)
+        assert warm.stats.timing("generate_context").hits == 1
+        assert result.context.name == "MVM@rsp(custom)"
+        assert result.schedule.architecture.name == "rsp(custom)"
+
+    def test_build_dfg_stage_is_never_persisted(self, tmp_path, mvm):
+        pipeline = MappingPipeline(store=ArtifactStore(tmp_path))
+        pipeline.profile_artifact(mvm)
+        stages_on_disk = {path.name for path in (tmp_path / "artifacts").iterdir()}
+        assert "build_dfg" not in stages_on_disk
+        assert stages_on_disk == {"base_schedule", "extract_profile"}
+
+    def test_rearranged_artifact_value_shape(self, tmp_path, mvm):
+        pipeline = MappingPipeline(store=ArtifactStore(tmp_path))
+        artifact = pipeline.rearrange_artifact(mvm, rs_architecture(2))
+        assert isinstance(artifact.value, RearrangedSchedule)
+        summary = artifact.value.summary
+        assert summary.cycles == artifact.value.schedule.length
+        assert summary.base_cycles == pipeline.base_schedule_artifact(mvm).value.length
