@@ -25,6 +25,13 @@ Content-hashed jobs and the persistent cache
     never recompute — and a record can never be stale, because any input
     change changes the key.
 
+Unified storage layer
+    Both persistent stores sit on :mod:`repro.store`: sharded,
+    lock-protected backends that multiple processes can write
+    concurrently, plus a :class:`~repro.store.StoreJanitor` for
+    age-based GC and compaction (``--store-shards``, ``--gc-max-age``
+    and ``--compact`` on the CLI).
+
 Executor selection
     :class:`~repro.engine.executor.ExecutorConfig` picks the backend:
     ``serial`` (the seed's behaviour), ``thread`` or ``process``
@@ -67,6 +74,7 @@ from repro.engine.jobs import (
     suite_kernels,
 )
 from repro.engine.runner import CampaignReport, CampaignRunner, SuiteReport
+from repro.store import StoreJanitor, StoreStats
 
 __all__ = [
     "BACKENDS",
@@ -84,6 +92,8 @@ __all__ = [
     "EvaluationJob",
     "ExecutorConfig",
     "ParetoFrontier",
+    "StoreJanitor",
+    "StoreStats",
     "SuiteReport",
     "evaluation_context_hash",
     "hash_payload",

@@ -30,6 +30,17 @@ from repro.utils.serialization import to_json
 from repro.utils.tabulate import format_table
 
 
+def _shard_count(text: str) -> int:
+    """Argparse type for ``--store-shards``: an int in the backends' 1..99."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid shard count: {text!r}")
+    if not 1 <= value <= 99:
+        raise argparse.ArgumentTypeError(f"store shards must be in 1..99, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.engine",
@@ -105,10 +116,55 @@ def build_parser() -> argparse.ArgumentParser:
         "(base schedules and profiles are recomputed every run)",
     )
     parser.add_argument(
+        "--store-shards",
+        type=_shard_count,
+        default=1,
+        help="shard count of the persistent stores: evaluation records and "
+        "artifacts spread over this many lock-protected shard files/dirs so "
+        "concurrent campaigns can share one cache directory (default: 1, "
+        "the legacy single-file layout; existing layouts always load)",
+    )
+    parser.add_argument(
+        "--gc-max-age",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="after the campaign, evict store entries not written or read "
+        "for this many seconds",
+    )
+    parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="after the campaign, compact the stores (drop superseded and "
+        "corrupt records, migrate legacy layouts into their shards)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="write the JSON campaign report here"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress the summary table")
     return parser
+
+
+def _store_summary(report) -> str:
+    """One ``store:`` line: shard config, entry/disk totals, janitor outcome."""
+    stats = report.store_stats
+    artifacts = stats.get("artifacts")
+    evaluations = stats.get("evaluations") or []
+    entries = sum(snapshot.entries for snapshot in evaluations)
+    disk = sum(snapshot.disk_bytes for snapshot in evaluations)
+    line = f"store: {stats.get('shards', 1)} shard(s)"
+    if artifacts is not None:
+        line += f"  artifacts: {artifacts.entries} entries / {artifacts.disk_bytes} B"
+    line += f"  evaluations: {entries} records / {disk} B"
+    janitor = stats.get("janitor")
+    if janitor:
+        evicted = sum(
+            sweep.evicted
+            for sweep in list(janitor.get("evaluations") or [])
+            + ([janitor["artifacts"]] if janitor.get("artifacts") else [])
+        )
+        line += f"  janitor: {evicted} evicted, compacted={janitor.get('compacted')}"
+    return line
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -146,6 +202,9 @@ def _run(args: argparse.Namespace) -> int:
         spec,
         cache_dir=None if args.no_cache else args.cache_dir,
         artifact_dir=artifact_dir,
+        store_shards=args.store_shards,
+        gc_max_age=args.gc_max_age,
+        compact=args.compact,
     )
     report, _ = runner.run()
 
@@ -173,6 +232,7 @@ def _run(args: argparse.Namespace) -> int:
             f"mapping: {report.mapping_seconds:.3f}s"
             + (f"  [{stage_summary}]" if stage_summary else "")
         )
+        print(_store_summary(report))
 
     if args.output is not None:
         payload = {

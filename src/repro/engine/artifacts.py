@@ -12,16 +12,23 @@ Layout
 The store shares the evaluation cache's directory layout: pointing both at
 the same ``cache_dir`` gives one self-contained exploration cache on disk::
 
-    <cache_dir>/evals-<context_hash>.jsonl     (evaluation cache)
-    <cache_dir>/artifacts/<stage>/<key>.pkl    (artifact store)
+    <cache_dir>/evals-<context_hash>.jsonl          (evaluation cache)
+    <cache_dir>/artifacts/<stage>/<key>.pkl         (flat, shards=1)
+    <cache_dir>/artifacts/<stage>/sNN/<key>.pkl     (sharded)
 
-Each artifact file is the pickled stage output, addressed by the stage name
-and the SHA-256 *input* hash computed by the pipeline
+Persistence is a :class:`repro.store.PickleDirBackend`: write-then-rename
+pickles under advisory file locks, optionally spread over hashed shard
+subdirectories so many processes can populate one directory, with the
+pre-shard flat layout read transparently as shard 0.  Each artifact file
+is the pickled stage output, addressed by the stage name and the SHA-256
+*input* hash computed by the pipeline
 (:func:`repro.mapping.pipeline.stage_key`).  Because keys are content
 hashes over the full upstream input chain, a record can never be stale:
 any change to the kernel DFG, the architecture or an upstream stage
 changes the key.  Corrupt or truncated files (e.g. from an interrupted
-run) are treated as misses and silently overwritten by the next store.
+run) are treated as misses, counted in :attr:`ArtifactStoreStats.corrupt`
+and reported via :class:`RuntimeWarning`; the next store overwrites them
+and a janitor compaction removes them.
 
 An in-memory layer fronts the disk so a value is unpickled at most once
 per process; with no root directory the store is purely in-memory, which
@@ -32,16 +39,17 @@ within-run memoisation behaviour for free.
 
 from __future__ import annotations
 
-import os
-import pickle
-import tempfile
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from repro.store import PickleDirBackend, StoreJanitor, StoreStats
+from repro.store.pickledir import DEFAULT_KEY_PREFIX_LENGTH
+
 #: Length of the key prefix used in artifact file names.  32 hex digits
 #: (128 bits) keeps paths short while making collisions implausible.
-KEY_PREFIX_LENGTH = 32
+KEY_PREFIX_LENGTH = DEFAULT_KEY_PREFIX_LENGTH
 
 #: Subdirectory of the shared cache directory holding artifact files.
 ARTIFACT_SUBDIR = "artifacts"
@@ -84,16 +92,24 @@ class ArtifactStore:
         Cache directory shared with :class:`~repro.engine.cache.EvaluationCache`;
         artifacts live under ``<root>/artifacts/``.  ``None`` keeps the
         store purely in memory.
+    shards:
+        Shard-directory count per stage for new writes (1 reproduces the
+        flat legacy layout).  Flat files are always readable regardless,
+        so a directory written with any shard count loads warm.
     """
 
-    def __init__(self, root: Optional[Union[str, Path]] = None) -> None:
+    def __init__(self, root: Optional[Union[str, Path]] = None, shards: int = 1) -> None:
         self.root = Path(root) if root is not None else None
+        self.shards = shards
         self.stats = ArtifactStoreStats()
         self._memory: Dict[Tuple[str, str], Any] = {}
+        self.backend: Optional[PickleDirBackend] = None
+        if self.root is not None:
+            self.backend = PickleDirBackend(self.root / ARTIFACT_SUBDIR, num_shards=shards)
 
     @property
     def persistent(self) -> bool:
-        return self.root is not None
+        return self.backend is not None
 
     @property
     def directory(self) -> Optional[Path]:
@@ -103,8 +119,8 @@ class ArtifactStore:
         return self.root / ARTIFACT_SUBDIR
 
     def _path(self, stage: str, key: str) -> Path:
-        assert self.directory is not None
-        return self.directory / stage / f"{key[:KEY_PREFIX_LENGTH]}.pkl"
+        assert self.backend is not None
+        return self.backend.path_for(stage, key)
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -113,7 +129,7 @@ class ArtifactStore:
         """True when the artifact is available without recomputation."""
         if (stage, key) in self._memory:
             return True
-        return self.persistent and self._path(stage, key).exists()
+        return self.backend is not None and self.backend.contains(stage, key)
 
     # ------------------------------------------------------------------
     # Fetch / store
@@ -124,23 +140,34 @@ class ArtifactStore:
         Returns ``(True, value)`` on a hit and ``(False, None)`` on a miss
         (so ``None`` remains a storable value).  Disk hits populate the
         in-memory layer, making repeated fetches return the same object.
+        Corrupt files count as misses, bump :attr:`ArtifactStoreStats.corrupt`
+        and raise a :class:`RuntimeWarning` naming the artifact.
         """
         memory_key = (stage, key)
         if memory_key in self._memory:
             self.stats.record(stage, "hits")
             return True, self._memory[memory_key]
-        if self.persistent:
-            path = self._path(stage, key)
-            if path.exists():
-                try:
-                    with path.open("rb") as handle:
-                        value = pickle.load(handle)
-                except (OSError, pickle.UnpicklingError, EOFError, AttributeError, ImportError):
-                    self.stats.corrupt += 1
-                else:
-                    self._memory[memory_key] = value
-                    self.stats.record(stage, "hits")
-                    return True, value
+        if self.backend is not None:
+            corrupt_before = self.backend.counters.corrupt
+            hit, value = self.backend.get(stage, key)
+            corrupt_delta = self.backend.counters.corrupt - corrupt_before
+            if corrupt_delta:
+                self.stats.corrupt += corrupt_delta
+                outcome = (
+                    "served from a fallback copy"
+                    if hit
+                    else "treated as a miss; the stage will be recomputed"
+                )
+                warnings.warn(
+                    f"artifact store {self.directory}: corrupt artifact "
+                    f"{stage}/{key[:KEY_PREFIX_LENGTH]} {outcome}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            if hit:
+                self._memory[memory_key] = value
+                self.stats.record(stage, "hits")
+                return True, value
         self.stats.record(stage, "misses")
         return False, None
 
@@ -152,23 +179,29 @@ class ArtifactStore:
         """
         self._memory[(stage, key)] = value
         self.stats.record(stage, "stores")
-        if not self.persistent or not persist:
+        if self.backend is None or not persist:
             return
-        path = self._path(stage, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        # Write-then-rename so neither an interrupted run nor two writers
-        # racing on the same key ever leave a truncated artifact under the
-        # final name (mkstemp gives every writer its own temp file).
-        descriptor, temporary = tempfile.mkstemp(
-            prefix=f"{path.name}.", suffix=".tmp", dir=path.parent
+        self.backend.put(stage, key, value)
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def janitor(self, max_age_seconds: Optional[float] = None) -> StoreJanitor:
+        """A GC/compaction janitor over the persistent backend."""
+        if self.backend is None:
+            raise ValueError("an in-memory artifact store has nothing to garbage-collect")
+        return StoreJanitor(self.backend, max_age_seconds=max_age_seconds)
+
+    def store_stats(self) -> StoreStats:
+        """Snapshot of the backing store (shards, entries, disk usage)."""
+        if self.backend is not None:
+            return self.backend.stats()
+        return StoreStats(
+            backend="memory",
+            shards=1,
+            entries=len(self._memory),
+            hits=self.stats.hits,
+            misses=self.stats.misses,
+            stores=self.stats.stores,
+            corrupt=self.stats.corrupt,
         )
-        try:
-            with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(temporary, path)
-        except BaseException:
-            try:
-                os.unlink(temporary)
-            except OSError:
-                pass
-            raise

@@ -1,4 +1,4 @@
-"""Persistent evaluation store backed by JSON-lines files.
+"""Persistent evaluation store — a facade over the unified storage layer.
 
 Exploration campaigns repeatedly evaluate overlapping candidate grids:
 re-running a sweep after enlarging the grid, exploring a second suite that
@@ -7,13 +7,19 @@ cache makes every repeated evaluation free.
 
 Layout
 ------
-A cache directory holds one append-only JSON-lines file per *evaluation
+A cache directory holds the JSON-lines shard files of each *evaluation
 context* (profiles + array + model calibration, see
 :func:`repro.engine.jobs.evaluation_context_hash`)::
 
-    <cache_dir>/evals-<context_hash_prefix>.jsonl
+    <cache_dir>/evals-<context_hash_prefix>.jsonl        shard 0
+    <cache_dir>/evals-<context_hash_prefix>.s01.jsonl    shard 1 (when sharded)
+    ...
 
-Each line is one completed evaluation, keyed by the job's content hash::
+Persistence is a :class:`repro.store.ShardedJsonlBackend`: appends go to
+the key's hashed shard under an advisory file lock, so multiple processes
+can populate one cache directory concurrently, and the pre-shard
+single-file layout is read transparently as shard 0.  Each line is one
+completed evaluation, keyed by the job's content hash::
 
     {"key": "...", "label": "rs(shr=2,...)", "area_slices": ...,
      "critical_path_ns": ..., "stalls": {kernel: {"rs_stalls": ...,
@@ -23,22 +29,29 @@ Only derived *numbers* are stored; the architecture object is rebuilt from
 the job's parameters on a hit, so the format stays small and stable.
 Corrupt or truncated lines (e.g. from an interrupted run) are skipped on
 load, counted in :attr:`EvaluationCache.corrupt_lines` and reported once
-via :class:`RuntimeWarning`.  Because keys are content hashes, a record can never be stale: any
-change to the profiles, the array or the model calibration changes the
-context hash and therefore the file and the keys.
+via :class:`RuntimeWarning`; compaction (:meth:`EvaluationCache.janitor`)
+drops them from disk.  Because keys are content hashes, a record can never
+be stale: any change to the profiles, the array or the model calibration
+changes the context hash and therefore the file and the keys.
 """
 
 from __future__ import annotations
 
-import json
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional
+from typing import Optional, Union
 
 from repro.core.exploration import DesignPointEvaluation
 from repro.core.stalls import StallEstimate
 from repro.engine.jobs import EvaluationJob
+from repro.store import (
+    MemoryBackend,
+    ShardedJsonlBackend,
+    StoreBackend,
+    StoreJanitor,
+    StoreStats,
+)
 
 
 @dataclass
@@ -61,57 +74,42 @@ class CacheStats:
         return self.hits / self.lookups
 
 
+def _valid_record(record: dict) -> bool:
+    """The fields :meth:`EvaluationCache.get` rehydrates must be present."""
+    try:
+        float(record["area_slices"])
+        float(record["critical_path_ns"])
+        record["stalls"]
+    except (ValueError, KeyError, TypeError):
+        return False
+    return True
+
+
 class EvaluationCache:
     """A keyed store of completed design-point evaluations.
 
     Parameters
     ----------
     path:
-        JSON-lines file backing the cache.  ``None`` keeps the cache purely
-        in memory (useful for tests and one-shot runs).
+        Shard-0 JSON-lines file backing the cache.  ``None`` keeps the
+        cache purely in memory (useful for tests and one-shot runs).
+    shards:
+        Shard-file count for new writes (1 reproduces the single-file
+        layout).  Existing shard files are always read regardless of this
+        setting, so a directory written with any shard count loads warm.
     """
 
-    def __init__(self, path: Optional[Path] = None) -> None:
+    def __init__(self, path: Optional[Union[str, Path]] = None, shards: int = 1) -> None:
         self.path = Path(path) if path is not None else None
+        self.shards = shards
         self.stats = CacheStats()
-        #: Number of corrupt/foreign lines skipped while loading the file.
-        self.corrupt_lines = 0
-        self._records: Dict[str, dict] = {}
-        if self.path is not None and self.path.exists():
-            self._load()
-
-    @classmethod
-    def for_context(cls, cache_dir: Path, context_hash: str) -> "EvaluationCache":
-        """The cache file of one evaluation context inside ``cache_dir``."""
-        cache_dir = Path(cache_dir)
-        cache_dir.mkdir(parents=True, exist_ok=True)
-        return cls(cache_dir / f"evals-{context_hash[:16]}.jsonl")
-
-    def __len__(self) -> int:
-        return len(self._records)
-
-    def __contains__(self, key: str) -> bool:
-        return key in self._records
-
-    # ------------------------------------------------------------------
-    # Load / store
-    # ------------------------------------------------------------------
-    def _load(self) -> None:
-        with self.path.open("r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    key = record["key"]
-                    float(record["area_slices"])
-                    float(record["critical_path_ns"])
-                    record["stalls"]
-                except (ValueError, KeyError, TypeError):
-                    self.corrupt_lines += 1  # interrupted write or foreign line
-                    continue
-                self._records[key] = record
+        if self.path is None:
+            self.backend: StoreBackend = MemoryBackend()
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self.backend = ShardedJsonlBackend(
+                self.path, num_shards=shards, validate=_valid_record
+            )
         if self.corrupt_lines:
             warnings.warn(
                 f"evaluation cache {self.path}: skipped {self.corrupt_lines} "
@@ -120,12 +118,35 @@ class EvaluationCache:
                 stacklevel=2,
             )
 
+    @classmethod
+    def for_context(
+        cls, cache_dir: Path, context_hash: str, shards: int = 1
+    ) -> "EvaluationCache":
+        """The cache file of one evaluation context inside ``cache_dir``."""
+        cache_dir = Path(cache_dir)
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        return cls(cache_dir / f"evals-{context_hash[:16]}.jsonl", shards=shards)
+
+    @property
+    def corrupt_lines(self) -> int:
+        """Corrupt/foreign lines skipped while loading the shard files."""
+        return getattr(self.backend, "corrupt_lines", 0)
+
+    def __len__(self) -> int:
+        # Both cache backends hold their records in memory; no disk walk.
+        return len(self.backend)  # type: ignore[arg-type]
+
+    def __contains__(self, key: str) -> bool:
+        return self.backend.contains("", key)
+
+    # ------------------------------------------------------------------
+    # Store / lookup
+    # ------------------------------------------------------------------
     def put(self, key: str, evaluation: DesignPointEvaluation) -> None:
-        """Record ``evaluation`` under ``key`` and append it to the file."""
-        if key in self._records:
+        """Record ``evaluation`` under ``key`` and append it to its shard."""
+        if self.backend.contains("", key):
             return
         record = {
-            "key": key,
             "label": evaluation.architecture.name,
             "area_slices": evaluation.area_slices,
             "critical_path_ns": evaluation.critical_path_ns,
@@ -138,23 +159,17 @@ class EvaluationCache:
                 for kernel, estimate in evaluation.stall_estimates.items()
             },
         }
-        self._records[key] = record
+        self.backend.put("", key, record)
         self.stats.stores += 1
-        if self.path is not None:
-            with self.path.open("a", encoding="utf-8") as handle:
-                handle.write(json.dumps(record, sort_keys=True) + "\n")
 
-    # ------------------------------------------------------------------
-    # Lookup
-    # ------------------------------------------------------------------
     def get(self, key: str, job: EvaluationJob, array) -> Optional[DesignPointEvaluation]:
         """Rehydrate the evaluation stored under ``key``, or ``None`` on a miss.
 
         The architecture is rebuilt from the job's parameters (cheap and
         deterministic), then populated with the cached numbers.
         """
-        record = self._records.get(key)
-        if record is None:
+        hit, record = self.backend.get("", key)
+        if not hit:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -176,3 +191,14 @@ class EvaluationCache:
             critical_path_ns=float(record["critical_path_ns"]),
             stall_estimates=stall_estimates,
         )
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def janitor(self, max_age_seconds: Optional[float] = None) -> StoreJanitor:
+        """A GC/compaction janitor over this cache's backend."""
+        return StoreJanitor(self.backend, max_age_seconds=max_age_seconds)
+
+    def store_stats(self) -> StoreStats:
+        """Snapshot of the backing store (shards, entries, disk usage)."""
+        return self.backend.stats()

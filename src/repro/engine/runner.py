@@ -29,6 +29,7 @@ from repro.core.exploration import ExplorationResult, RSPDesignSpaceExplorer
 from repro.core.stalls import ScheduleProfile
 from repro.engine.artifacts import ArtifactStore
 from repro.engine.cache import EvaluationCache
+from repro.store import JanitorReport
 from repro.engine.executor import (
     EngineRunStats,
     ExecutorConfig,
@@ -97,6 +98,10 @@ class CampaignReport:
     artifact_misses: int = 0
     mapping_seconds: float = 0.0
     mapping_stages: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    #: Storage-layer snapshot: shard configuration, backend stats of the
+    #: artifact store and evaluation caches, and the janitor outcome when
+    #: GC/compaction ran (see :meth:`CampaignRunner.run`).
+    store_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -170,6 +175,19 @@ class CampaignRunner:
         the mapper's staged pipeline, so warm artifact stores serve
         profiles without re-mapping; replace it to feed pre-computed or
         remotely fetched profiles into a campaign.
+    store_shards:
+        Shard count for both persistent stores (evaluation cache shard
+        files, artifact shard subdirectories).  1 reproduces the legacy
+        single-file/flat layouts; existing layouts of any shard count are
+        read either way.  Ignored when ``mapper`` is supplied (its store
+        is already configured).
+    gc_max_age:
+        When set, a post-campaign janitor pass evicts store entries not
+        written or read for this many seconds.
+    compact:
+        When true, the post-campaign janitor pass also compacts the
+        stores (dedups/drops corrupt JSONL lines, migrates legacy files
+        into their hashed shard locations, removes temp strays).
     """
 
     def __init__(
@@ -179,12 +197,18 @@ class CampaignRunner:
         mapper: Optional[RSPMapper] = None,
         artifact_dir: Optional[Path] = None,
         profile_provider: Optional[ProfileProvider] = None,
+        store_shards: int = 1,
+        gc_max_age: Optional[float] = None,
+        compact: bool = False,
     ) -> None:
         self.spec = spec
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
+        self.store_shards = store_shards
+        self.gc_max_age = gc_max_age
+        self.compact = compact
         if mapper is None:
-            mapper = RSPMapper(store=ArtifactStore(self.artifact_dir))
+            mapper = RSPMapper(store=ArtifactStore(self.artifact_dir, shards=store_shards))
         self.mapper = mapper
         self.pipeline = mapper.pipeline
         self.profile_provider: ProfileProvider = profile_provider or self._pipeline_profiles
@@ -207,6 +231,7 @@ class CampaignRunner:
         suite_reports: List[SuiteReport] = []
         results: Dict[str, ExplorationResult] = {}
         cache_paths: List[str] = []
+        caches: List[EvaluationCache] = []
         totals = EngineRunStats()
         run_snapshot = self.pipeline.stats.snapshot()
         store_stats = self.pipeline.store.stats
@@ -232,8 +257,11 @@ class CampaignRunner:
                     explorer.cost_model,
                     explorer.timing_model,
                 )
-                cache = EvaluationCache.for_context(self.cache_dir, context)
+                cache = EvaluationCache.for_context(
+                    self.cache_dir, context, shards=self.store_shards
+                )
                 cache_paths.append(str(cache.path))
+                caches.append(cache)
 
             outcome = run_exploration(
                 explorer,
@@ -279,6 +307,10 @@ class CampaignRunner:
             totals.cache_misses += stats.cache_misses
             totals.early_rejected += stats.early_rejected
 
+        janitor_block: Optional[Dict[str, object]] = None
+        if self.compact or self.gc_max_age is not None:
+            janitor_block = self._run_janitors(caches)
+
         run_delta = self.pipeline.stats.since(run_snapshot)
         artifact_directory = self.pipeline.store.directory
         report = CampaignReport(
@@ -299,5 +331,28 @@ class CampaignRunner:
             artifact_misses=store_stats.misses - store_misses_before,
             mapping_seconds=sum(delta.seconds for delta in run_delta.values()),
             mapping_stages=stage_timings_as_dict(run_delta),
+            store_stats={
+                "shards": self.store_shards,
+                "artifacts": self.pipeline.store.store_stats(),
+                "evaluations": [cache.store_stats() for cache in caches],
+                "janitor": janitor_block,
+            },
         )
         return report, results
+
+    def _run_janitors(self, caches: Sequence[EvaluationCache]) -> Dict[str, object]:
+        """Post-campaign GC/compaction over every persistent store."""
+        block: Dict[str, object] = {"gc_max_age": self.gc_max_age, "compacted": self.compact}
+        if self.pipeline.store.persistent:
+            block["artifacts"] = self.pipeline.store.janitor(self.gc_max_age).sweep(
+                compact=self.compact
+            )
+        evaluation_reports: List[JanitorReport] = []
+        for cache in caches:
+            if cache.path is not None:
+                evaluation_reports.append(
+                    cache.janitor(self.gc_max_age).sweep(compact=self.compact)
+                )
+        if evaluation_reports:
+            block["evaluations"] = evaluation_reports
+        return block

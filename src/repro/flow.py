@@ -20,7 +20,8 @@ This is the highest-level entry point of the library::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Union
 
 from repro.arch.array import ArraySpec
 from repro.arch.template import ArchitectureSpec, base_architecture, default_array_spec
@@ -81,7 +82,8 @@ def run_rsp_flow(
     timing_model: Optional[TimingModel] = None,
     executor: Optional["ExecutorConfig"] = None,
     cache: Optional["EvaluationCache"] = None,
-    artifact_store: Optional["ArtifactStore"] = None,
+    artifact_store: Optional[Union["ArtifactStore", str, Path]] = None,
+    store_shards: int = 1,
 ) -> FlowOutcome:
     """Run the complete RSP design flow for an application domain.
 
@@ -110,10 +112,19 @@ def run_rsp_flow(
         Optional persistent :class:`~repro.engine.artifacts.ArtifactStore`
         backing the staged mapping pipeline: base schedules, profiles and
         rearranged schedules of repeated flows are fetched instead of
-        recomputed.  The flow's outputs are identical either way.
+        recomputed.  A path is accepted as shorthand and opens a store
+        rooted there with ``store_shards`` shards.  The flow's outputs
+        are identical either way.
+    store_shards:
+        Shard count used when ``artifact_store`` is given as a path (see
+        :class:`~repro.engine.artifacts.ArtifactStore`).
     """
     if not kernels:
         raise ExplorationError("the RSP flow needs at least one kernel")
+    if artifact_store is not None and isinstance(artifact_store, (str, Path)):
+        from repro.engine.artifacts import ArtifactStore
+
+        artifact_store = ArtifactStore(artifact_store, shards=store_shards)
     array_spec = array or default_array_spec()
     base = base_architecture(array_spec.rows, array_spec.cols)
     mapper = RSPMapper(base=base, store=artifact_store)

@@ -31,7 +31,8 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple, Union
 
 from repro.arch.config_cache import ConfigurationContext
 from repro.arch.template import ArchitectureSpec, base_architecture
@@ -304,28 +305,33 @@ class MappingPipeline:
     store:
         Artifact store memoising stage outputs; an in-memory store is
         created when omitted (the seed's within-run caching behaviour).
-        Pass a store rooted at the engine's cache directory to share
-        artifacts across processes and campaigns.
+        Pass a store rooted at the engine's cache directory — or a path,
+        opened with ``store_shards`` shards — to share artifacts across
+        processes and campaigns.
     generate_contexts:
         Whether :meth:`run` produces configuration contexts.
+    store_shards:
+        Shard count used when ``store`` is given as a path (see
+        :class:`~repro.engine.artifacts.ArtifactStore`).
     """
 
     def __init__(
         self,
         base: Optional[ArchitectureSpec] = None,
-        store: Optional["ArtifactStore"] = None,
+        store: Optional[Union["ArtifactStore", str, Path]] = None,
         generate_contexts: bool = False,
+        store_shards: int = 1,
     ) -> None:
         self.base = base or base_architecture()
         if not self.base.is_base:
             raise MappingError("the reference architecture of the pipeline must be a base design")
-        if store is None:
+        if store is None or isinstance(store, (str, Path)):
             # Imported here (not at module level) to keep repro.mapping
             # importable without triggering repro.engine's package import,
             # which itself imports repro.mapping.
             from repro.engine.artifacts import ArtifactStore
 
-            store = ArtifactStore()
+            store = ArtifactStore(store, shards=store_shards)
         self.store = store
         self.generate_contexts = generate_contexts
         self.stats = PipelineStats()

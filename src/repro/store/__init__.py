@@ -1,0 +1,54 @@
+"""Unified content-addressed storage layer.
+
+One abstraction — :class:`~repro.store.backend.StoreBackend` — behind both
+persistence paths of the engine: the evaluation cache
+(:mod:`repro.engine.cache`, numbers as JSON-lines records) and the mapping
+artifact store (:mod:`repro.engine.artifacts`, structures as pickles).
+Three backends implement it:
+
+``MemoryBackend``
+    A plain in-process dictionary: tests, one-shot runs, and the in-memory
+    front of the persistent stores.
+
+``ShardedJsonlBackend``
+    N append-only JSON-lines shard files selected by a stable key hash.
+    Appends are single ``O_APPEND`` writes under an advisory ``fcntl``
+    lock, so any number of processes can share one cache directory.  The
+    pre-shard single-file layout is read transparently as shard 0.
+
+``PickleDirBackend``
+    Pickle-per-entry directories (the artifact layout), with sharded
+    subdirectories, write-then-rename stores under advisory locks, and the
+    pre-shard flat layout read transparently as shard 0.
+
+On top, :class:`~repro.store.janitor.StoreJanitor` provides age-based GC
+and shard compaction, and every backend can snapshot itself as a
+:class:`~repro.store.backend.StoreStats` for reports.
+"""
+
+from repro.store.backend import (
+    CompactionReport,
+    MemoryBackend,
+    StoreBackend,
+    StoreEntry,
+    StoreStats,
+    shard_index,
+)
+from repro.store.janitor import JanitorReport, StoreJanitor
+from repro.store.jsonl import ShardedJsonlBackend
+from repro.store.locks import locked
+from repro.store.pickledir import PickleDirBackend
+
+__all__ = [
+    "CompactionReport",
+    "JanitorReport",
+    "MemoryBackend",
+    "PickleDirBackend",
+    "ShardedJsonlBackend",
+    "StoreBackend",
+    "StoreEntry",
+    "StoreJanitor",
+    "StoreStats",
+    "locked",
+    "shard_index",
+]

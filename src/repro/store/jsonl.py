@@ -1,0 +1,363 @@
+"""Sharded append-only JSON-lines backend.
+
+The record domain is flat JSON objects (one per line).  Three field names
+are reserved and managed by the backend: ``key`` (the content-hash key,
+required on every line), ``ns`` (namespace, omitted when empty) and ``ts``
+(write timestamp, used for age-based GC of records that were never read
+in this process).
+
+Layout
+------
+``base_path`` names the pre-shard single file, which doubles as shard 0::
+
+    <dir>/<name>.jsonl            shard 0  (the legacy layout, unchanged)
+    <dir>/<name>.s01.jsonl        shard 1
+    ...
+    <dir>/<name>.s<N-1>.jsonl     shard N-1
+
+A key's shard is :func:`repro.store.backend.shard_index` — a stable hash,
+so every process sharing the directory agrees on it.  Opening a backend
+loads *every* shard file present (including files from a run configured
+with more shards), which is what makes legacy single-file directories and
+shard-count changes read transparently: lookups are served from the
+merged in-memory map, writes append to the key's current shard.
+
+Concurrency
+-----------
+Appends are one ``write`` to an ``O_APPEND`` descriptor while holding the
+shard's advisory lock (:func:`repro.store.locks.locked`), so concurrent
+writers interleave whole lines, never bytes.  Compaction re-reads each
+shard under every shard lock at once before rewriting, so records
+appended by other processes since this backend loaded are preserved, not
+lost.  Readers need no lock: a torn line is impossible under the append
+protocol, and anything else is counted as corrupt and skipped.
+
+Read-access stamps (which age-based GC honours) live in process memory —
+persisted records carry only their write ``ts``.  A janitor therefore
+sees the reads of its own process, not those of other live readers; run
+GC from the process that did the reading (the engine's post-campaign
+janitor pass) or against directories nothing else is actively reading.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.store.backend import (
+    CompactionReport,
+    StoreEntry,
+    StoreStats,
+    _Counters,
+    shard_index,
+)
+from repro.store.locks import locked, locked_all
+
+_Entry = Tuple[str, str]  # (namespace, key)
+
+
+def _parse_lines(
+    text: str, validate: Optional[Callable[[dict], bool]]
+) -> Tuple[Dict[_Entry, dict], Dict[_Entry, int], int]:
+    """Parse JSON-lines ``text``; returns ``(records, line_sizes, corrupt)``.
+
+    Later lines supersede earlier ones (same content-hash key, so the
+    values agree; superseding just deduplicates).  Blank lines are not
+    corruption, anything unparsable or failing ``validate`` is.  Line
+    sizes are kept so :meth:`ShardedJsonlBackend.scan` never has to
+    re-serialize records.
+    """
+    records: Dict[_Entry, dict] = {}
+    sizes: Dict[_Entry, int] = {}
+    corrupt = 0
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+            key = record["key"]
+        except (ValueError, KeyError, TypeError):
+            corrupt += 1
+            continue
+        if not isinstance(key, str) or (validate is not None and not validate(record)):
+            corrupt += 1
+            continue
+        entry = (record.get("ns", ""), key)
+        records[entry] = record
+        sizes[entry] = len(line.encode("utf-8")) + 1
+    return records, sizes, corrupt
+
+
+class ShardedJsonlBackend:
+    """N append-only JSON-lines shards behind the store protocol.
+
+    Parameters
+    ----------
+    base_path:
+        The shard-0 file; shards 1..N-1 are ``.sNN`` siblings.  Parent
+        directories are created on demand.
+    num_shards:
+        Shard-file count new writes spread over (1 reproduces the legacy
+        single-file layout exactly).
+    validate:
+        Optional record predicate; records failing it count as corrupt
+        and are dropped on load and on compaction.
+    clock:
+        Time source for ``ts`` stamps and access ages (injectable for
+        deterministic GC tests).
+    """
+
+    name = "jsonl"
+
+    def __init__(
+        self,
+        base_path: Union[str, Path],
+        num_shards: int = 1,
+        validate: Optional[Callable[[dict], bool]] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if not 1 <= num_shards <= 99:
+            raise ValueError(f"num_shards must be in 1..99, got {num_shards}")
+        self.base_path = Path(base_path)
+        self.num_shards = num_shards
+        self._validate = validate
+        self._clock = clock
+        self.counters = _Counters()
+        #: Corrupt/foreign lines skipped across all shard files on load.
+        self.corrupt_lines = 0
+        self._records: Dict[_Entry, dict] = {}
+        self._sizes: Dict[_Entry, int] = {}  # encoded line bytes (for scan)
+        self._stamp: Dict[_Entry, float] = {}  # write time (record ts / file mtime)
+        self._access: Dict[_Entry, float] = {}  # last read in this process
+        self._deleted: set = set()  # tombstones applied at compaction
+        self._load()
+
+    # ------------------------------------------------------------------
+    # Shard file naming
+    # ------------------------------------------------------------------
+    def shard_path(self, shard: int) -> Path:
+        """The file of ``shard`` (shard 0 is the legacy ``base_path`` itself)."""
+        if shard == 0:
+            return self.base_path
+        return self.base_path.with_name(
+            f"{self.base_path.stem}.s{shard:02d}{self.base_path.suffix}"
+        )
+
+    def _shard_files_present(self) -> List[Path]:
+        """Every shard file on disk, shard 0 first then ascending ``.sNN``.
+
+        Includes stray shards beyond :attr:`num_shards` (a directory
+        written by a run configured with more shards): their records must
+        load and survive compaction.
+        """
+        files: List[Path] = []
+        if self.base_path.exists():
+            files.append(self.base_path)
+        pattern = re.compile(
+            re.escape(self.base_path.stem) + r"\.s(\d\d)" + re.escape(self.base_path.suffix) + r"$"
+        )
+        numbered = []
+        for candidate in self.base_path.parent.glob(f"{self.base_path.stem}.s??*"):
+            match = pattern.match(candidate.name)
+            if match:
+                numbered.append((int(match.group(1)), candidate))
+        files.extend(path for _, path in sorted(numbered))
+        return files
+
+    def _load(self) -> None:
+        for path in self._shard_files_present():
+            try:
+                text = path.read_text(encoding="utf-8")
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            records, sizes, corrupt = _parse_lines(text, self._validate)
+            self.corrupt_lines += corrupt
+            self.counters.corrupt += corrupt
+            for entry, record in records.items():
+                self._records[entry] = record
+                self._sizes[entry] = sizes[entry]
+                self._stamp[entry] = float(record.get("ts", mtime))
+
+    # ------------------------------------------------------------------
+    # Protocol: get / put / delete / scan / stats
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, entry: _Entry) -> bool:
+        return entry in self._records
+
+    def contains(self, namespace: str, key: str) -> bool:
+        """Availability check that counts neither a hit nor a miss."""
+        return (namespace, key) in self._records
+
+    def get(self, namespace: str, key: str) -> Tuple[bool, Any]:
+        entry = (namespace, key)
+        record = self._records.get(entry)
+        if record is None:
+            self.counters.misses += 1
+            return False, None
+        self._access[entry] = self._clock()
+        self.counters.hits += 1
+        return True, record
+
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        """Record the JSON object ``value`` under ``key`` and append it.
+
+        The stored line carries the reserved fields; ``value`` itself is
+        left untouched.  Re-putting an existing key is a no-op (keys are
+        content hashes, so the value cannot have changed).
+        """
+        entry = (namespace, key)
+        if entry in self._records:
+            return
+        if not isinstance(value, dict):
+            raise TypeError(f"jsonl records must be flat JSON objects, got {type(value).__name__}")
+        record = dict(value)
+        record["key"] = key
+        if namespace:
+            record["ns"] = namespace
+        record["ts"] = round(self._clock(), 3)
+        self._records[entry] = record
+        self._stamp[entry] = record["ts"]
+        self._deleted.discard(entry)
+        self.counters.stores += 1
+        self._sizes[entry] = self._append(shard_index(key, self.num_shards), record)
+
+    def _append(self, shard: int, record: dict) -> int:
+        """Append one record line to its shard; returns the bytes written."""
+        path = self.shard_path(shard)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        with locked(path):
+            descriptor = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+            try:
+                os.write(descriptor, data)
+            finally:
+                os.close(descriptor)
+        return len(data)
+
+    def delete(self, namespace: str, key: str) -> bool:
+        """Drop the entry from this backend; the line disappears on compaction."""
+        entry = (namespace, key)
+        if entry not in self._records:
+            return False
+        del self._records[entry]
+        self._stamp.pop(entry, None)
+        self._sizes.pop(entry, None)
+        self._access.pop(entry, None)
+        self._deleted.add(entry)
+        self.counters.evicted += 1
+        return True
+
+    def scan(self, namespace: Optional[str] = None) -> Iterator[StoreEntry]:
+        now = self._clock()
+        for entry_namespace, key in list(self._records):
+            if namespace is not None and entry_namespace != namespace:
+                continue
+            entry = (entry_namespace, key)
+            freshest = max(self._stamp.get(entry, 0.0), self._access.get(entry, 0.0))
+            yield StoreEntry(
+                namespace=entry_namespace,
+                key=key,
+                shard=shard_index(key, self.num_shards),
+                size_bytes=self._sizes.get(entry, 0),
+                age_seconds=max(0.0, now - freshest),
+            )
+
+    def _disk_usage(self) -> Tuple[int, int]:
+        files = self._shard_files_present()
+        return len(files), sum(path.stat().st_size for path in files if path.exists())
+
+    def stats(self) -> StoreStats:
+        disk_files, disk_bytes = self._disk_usage()
+        return StoreStats(
+            backend=self.name,
+            shards=self.num_shards,
+            entries=len(self._records),
+            disk_files=disk_files,
+            disk_bytes=disk_bytes,
+            hits=self.counters.hits,
+            misses=self.counters.misses,
+            stores=self.counters.stores,
+            corrupt=self.counters.corrupt,
+            evicted=self.counters.evicted,
+        )
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def compact(self) -> CompactionReport:
+        """Rewrite every shard: dedup, drop corrupt lines, apply deletes.
+
+        All shard locks are held for the whole pass (single lock order, so
+        concurrent appenders — which take one lock — cannot deadlock
+        against it).  Shard files are re-read first, so records appended
+        by other processes after this backend loaded are merged in, then
+        everything is rewritten sorted by key: a second compaction of an
+        unchanged store is byte-identical.  Records found in the wrong
+        file (the legacy single file, or strays from a different shard
+        count) migrate to their hashed shard; stray files are removed.
+        """
+        report = CompactionReport()
+        on_disk = self._shard_files_present()
+        lock_targets = sorted(
+            {path for path in on_disk} | {self.shard_path(index) for index in range(self.num_shards)}
+        )
+        with locked_all(lock_targets):
+            _, bytes_before = self._disk_usage()
+            # Phase 1: fresh read of every file so no other writer's
+            # records are dropped by the rewrite.
+            lines_seen = 0
+            disk_entries: set = set()
+            for path in on_disk:
+                try:
+                    text = path.read_text(encoding="utf-8")
+                    mtime = path.stat().st_mtime
+                except OSError:
+                    continue
+                lines_seen += sum(1 for line in text.splitlines() if line.strip())
+                records, sizes, corrupt = _parse_lines(text, self._validate)
+                report.dropped_corrupt += corrupt
+                for entry, record in records.items():
+                    disk_entries.add(entry)
+                    if entry in self._deleted:
+                        continue
+                    if entry not in self._records:
+                        self._records[entry] = record
+                        self._sizes[entry] = sizes[entry]
+                        self._stamp[entry] = float(record.get("ts", mtime))
+                    if self.shard_path(shard_index(entry[1], self.num_shards)) != path:
+                        report.migrated_legacy += 1
+            report.dropped_duplicates = max(
+                0, lines_seen - report.dropped_corrupt - len(disk_entries)
+            )
+            # Phase 2: deterministic rewrite, one file per configured shard.
+            grouped: Dict[int, List[dict]] = {index: [] for index in range(self.num_shards)}
+            for (namespace, key), record in sorted(self._records.items()):
+                grouped[shard_index(key, self.num_shards)].append(record)
+            for index in range(self.num_shards):
+                path = self.shard_path(index)
+                payload = "".join(
+                    json.dumps(record, sort_keys=True) + "\n" for record in grouped[index]
+                )
+                if not payload and not path.exists():
+                    continue
+                temporary = path.with_name(path.name + ".compact.tmp")
+                temporary.write_text(payload, encoding="utf-8")
+                os.replace(temporary, path)
+                report.shards_rewritten += 1
+            for stray in on_disk:
+                if stray not in {self.shard_path(index) for index in range(self.num_shards)}:
+                    stray.unlink(missing_ok=True)
+            _, bytes_after = self._disk_usage()
+        self._deleted.clear()
+        report.entries_kept = len(self._records)
+        report.reclaimed_bytes = max(0, bytes_before - bytes_after)
+        return report

@@ -1,0 +1,202 @@
+"""CLI and report coverage for the storage layer.
+
+The ``--store-shards`` / ``--gc-max-age`` / ``--compact`` flags, the
+``store_stats`` block of the JSON report, and the legacy-layout warm-load
+guarantee (a pre-shard cache directory must serve a sharded run at 100%).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.engine.__main__ import build_parser, main
+from repro.engine.jobs import CampaignSpec
+from repro.engine.runner import CampaignRunner
+
+BASE_ARGS = [
+    "--suite", "h264",
+    "--max-rows-shared", "1",
+    "--max-cols-shared", "0",
+]
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return CampaignSpec(
+        name="store-smoke",
+        suites=("h264",),
+        max_rows_shared=1,
+        max_cols_shared=0,
+    )
+
+
+def run_cli(tmp_path, *extra):
+    output = tmp_path / "report.json"
+    argv = BASE_ARGS + [
+        "--cache-dir", str(tmp_path / "cache"),
+        "--artifact-dir", str(tmp_path / "cache"),
+        "--quiet",
+        "--output", str(output),
+        *extra,
+    ]
+    assert main(argv) == 0
+    return json.loads(output.read_text())
+
+
+# ----------------------------------------------------------------------
+# CLI flags
+# ----------------------------------------------------------------------
+def test_cli_parser_store_defaults():
+    args = build_parser().parse_args([])
+    assert args.store_shards == 1
+    assert args.gc_max_age is None
+    assert args.compact is False
+
+
+@pytest.mark.parametrize("bad", ["0", "-1", "100", "many"])
+def test_cli_rejects_out_of_range_store_shards(bad, capsys):
+    with pytest.raises(SystemExit) as outcome:
+        build_parser().parse_args(["--store-shards", bad])
+    assert outcome.value.code == 2
+    assert "store-shards" in capsys.readouterr().err
+
+
+def test_store_stats_block_in_the_json_report(tmp_path):
+    payload = run_cli(tmp_path, "--store-shards", "4")
+    stats = payload["report"]["store_stats"]
+    assert stats["shards"] == 4
+    assert stats["artifacts"]["backend"] == "pickle"
+    assert stats["artifacts"]["entries"] > 0
+    assert stats["artifacts"]["disk_bytes"] > 0
+    assert stats["evaluations"][0]["backend"] == "jsonl"
+    assert stats["evaluations"][0]["stores"] > 0
+    assert stats["janitor"] is None  # neither --compact nor --gc-max-age
+
+
+def test_sharded_layout_on_disk_and_warm_rerun(tmp_path):
+    run_cli(tmp_path, "--store-shards", "4")
+    cache_dir = tmp_path / "cache"
+    shard_files = list(cache_dir.glob("evals-*.s??.jsonl"))
+    shard_dirs = [
+        child
+        for stage_dir in (cache_dir / "artifacts").iterdir()
+        for child in stage_dir.iterdir()
+        if child.is_dir() and child.name.startswith("s")
+    ]
+    # With 4 shards at least one record/artifact lands off shard 0.
+    assert shard_files or shard_dirs
+
+    warm = run_cli(tmp_path, "--store-shards", "4")
+    assert warm["cache_hit_rate"] == 1.0
+    assert warm["report"]["artifact_misses"] == 0
+
+
+def test_compact_and_gc_flags_populate_the_janitor_block(tmp_path):
+    run_cli(tmp_path, "--store-shards", "2")
+    payload = run_cli(tmp_path, "--store-shards", "2", "--compact", "--gc-max-age", "86400")
+    janitor = payload["report"]["store_stats"]["janitor"]
+    assert janitor["compacted"] is True
+    assert janitor["gc_max_age"] == 86400
+    assert janitor["artifacts"]["evicted"] == 0  # everything is fresh
+    assert janitor["artifacts"]["compaction"]["entries_kept"] > 0
+    assert janitor["evaluations"][0]["compaction"]["entries_kept"] > 0
+
+    # The campaign after compaction + GC still runs fully warm.
+    warm = run_cli(tmp_path, "--store-shards", "2")
+    assert warm["cache_hit_rate"] == 1.0
+    assert warm["report"]["artifact_misses"] == 0
+
+
+def test_gc_evicts_a_stale_store(tmp_path):
+    run_cli(tmp_path)
+    # A max age of zero seconds declares every existing entry stale.
+    payload = run_cli(tmp_path, "--gc-max-age", "0", "--compact")
+    janitor = payload["report"]["store_stats"]["janitor"]
+    evicted = janitor["artifacts"]["evicted"] + janitor["evaluations"][0]["evicted"]
+    assert evicted > 0
+
+
+# ----------------------------------------------------------------------
+# Legacy layouts load warm
+# ----------------------------------------------------------------------
+def test_legacy_single_file_cache_dir_loads_warm_when_sharded(tmp_path):
+    """A pre-shard cache dir (shards=1) must serve a sharded run at 100%."""
+    cold = run_cli(tmp_path)  # legacy layout: single file, flat artifacts
+    assert cold["cache_hit_rate"] == 0.0
+    cache_dir = tmp_path / "cache"
+    assert not list(cache_dir.glob("evals-*.s??.jsonl"))
+
+    warm = run_cli(tmp_path, "--store-shards", "8")
+    assert warm["cache_hit_rate"] == 1.0
+    assert warm["report"]["cache_misses"] == 0
+    assert warm["report"]["artifact_misses"] == 0
+    assert warm["report"]["store_stats"]["shards"] == 8
+
+
+def test_sharded_cache_dir_loads_warm_when_unsharded(tmp_path):
+    """And the reverse: a sharded dir serves a legacy-configured run."""
+    run_cli(tmp_path, "--store-shards", "8")
+    warm = run_cli(tmp_path)
+    assert warm["cache_hit_rate"] == 1.0
+    assert warm["report"]["artifact_misses"] == 0
+
+
+# ----------------------------------------------------------------------
+# Runner API
+# ----------------------------------------------------------------------
+def test_runner_accepts_store_options(small_spec, tmp_path):
+    cold, _ = CampaignRunner(
+        small_spec,
+        cache_dir=tmp_path,
+        artifact_dir=tmp_path,
+        store_shards=4,
+        gc_max_age=86400.0,
+        compact=True,
+    ).run()
+    assert cold.store_stats["shards"] == 4
+    assert cold.store_stats["janitor"] is not None
+
+    warm, _ = CampaignRunner(
+        small_spec, cache_dir=tmp_path, artifact_dir=tmp_path, store_shards=4
+    ).run()
+    assert warm.cache_misses == 0
+    assert warm.artifact_misses == 0
+    assert warm.store_stats["janitor"] is None
+
+
+def test_memory_only_runner_reports_memory_store(small_spec):
+    report, _ = CampaignRunner(small_spec).run()
+    assert report.store_stats["artifacts"].backend == "memory"
+    assert report.store_stats["evaluations"] == []
+
+
+# ----------------------------------------------------------------------
+# Store paths thread through the flow and the pipeline
+# ----------------------------------------------------------------------
+def test_flow_accepts_a_store_path(tmp_path):
+    from repro.flow import run_rsp_flow
+    from repro.kernels import h264_kernels
+
+    kernels = h264_kernels()[:1]
+    cold = run_rsp_flow(kernels, artifact_store=tmp_path / "store", store_shards=4)
+    assert (tmp_path / "store" / "artifacts" / "base_schedule").is_dir()
+
+    warm = run_rsp_flow(kernels, artifact_store=tmp_path / "store", store_shards=4)
+    assert warm.selected_name == cold.selected_name
+    assert warm.total_selected_cycles() == cold.total_selected_cycles()
+
+
+def test_pipeline_accepts_a_store_path(tmp_path):
+    from repro.kernels import get_kernel
+    from repro.mapping.pipeline import MappingPipeline
+
+    pipeline = MappingPipeline(store=tmp_path / "store", store_shards=2)
+    assert pipeline.store.shards == 2
+    pipeline.profile_artifact(get_kernel("MVM"))
+    assert pipeline.store.store_stats().entries > 0
+
+    warm = MappingPipeline(store=tmp_path / "store", store_shards=2)
+    warm.profile_artifact(get_kernel("MVM"))
+    assert warm.stats.timing("extract_profile").hits == 1

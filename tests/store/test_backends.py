@@ -1,0 +1,384 @@
+"""Unit tests for the unified storage backends."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+
+import pytest
+
+from repro.store import (
+    MemoryBackend,
+    PickleDirBackend,
+    ShardedJsonlBackend,
+    shard_index,
+)
+
+
+class FakeClock:
+    """An injectable time source tests advance explicitly."""
+
+    def __init__(self, now: float = None) -> None:
+        self.now = time.time() if now is None else now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def hex_key(index: int) -> str:
+    # A real content hash: distinct keys must differ within the first 32
+    # characters, which is all the pickle backend keeps for file names.
+    return hashlib.sha256(str(index).encode()).hexdigest()
+
+
+def make_backend(kind: str, tmp_path, clock=None, num_shards: int = 1):
+    clock = clock or time.time
+    if kind == "memory":
+        return MemoryBackend(clock=clock)
+    if kind == "jsonl":
+        return ShardedJsonlBackend(tmp_path / "records.jsonl", num_shards=num_shards, clock=clock)
+    return PickleDirBackend(tmp_path / "pickles", num_shards=num_shards, clock=clock)
+
+
+BACKEND_KINDS = ("memory", "jsonl", "pickle")
+
+
+# ----------------------------------------------------------------------
+# Protocol behaviour shared by every backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+class TestProtocol:
+    def test_round_trip_and_counters(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path)
+        key = hex_key(1)
+        hit, value = backend.get("ns", key)
+        assert not hit and value is None
+        assert not backend.contains("ns", key)
+
+        backend.put("ns", key, {"payload": 7})
+        assert backend.contains("ns", key)
+        hit, value = backend.get("ns", key)
+        assert hit and value["payload"] == 7
+
+        stats = backend.stats()
+        assert stats.backend == backend.name
+        assert stats.hits == 1 and stats.misses == 1 and stats.stores == 1
+        assert stats.entries == 1
+        assert 0.0 < stats.hit_rate < 1.0
+
+    def test_namespaces_are_disjoint(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path)
+        backend.put("alpha", hex_key(2), {"v": 1})
+        assert backend.contains("alpha", hex_key(2))
+        assert not backend.contains("beta", hex_key(2))
+        assert not backend.get("beta", hex_key(2))[0]
+
+    def test_delete_then_scan(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path)
+        backend.put("ns", hex_key(3), {"v": 1})
+        backend.put("ns", hex_key(4), {"v": 2})
+        assert backend.delete("ns", hex_key(3))
+        assert not backend.delete("ns", hex_key(3))
+        assert not backend.contains("ns", hex_key(3))
+        remaining = {entry.key for entry in backend.scan("ns")}
+        assert len(remaining) == 1
+        assert backend.stats().evicted == 1
+
+    def test_compact_preserves_contents(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path, num_shards=4)
+        keys = [hex_key(index) for index in range(16)]
+        for index, key in enumerate(keys):
+            backend.put("ns", key, {"v": index})
+        report = backend.compact()
+        assert report.entries_kept == 16
+        assert all(backend.get("ns", key)[0] for key in keys)
+
+    def test_scan_ages_grow_with_the_clock(self, kind, tmp_path):
+        clock = FakeClock()
+        backend = make_backend(kind, tmp_path, clock=clock)
+        backend.put("ns", hex_key(5), {"v": 1})
+        clock.advance(100.0)
+        (entry,) = list(backend.scan("ns"))
+        assert entry.age_seconds == pytest.approx(100.0, abs=2.0)
+
+    def test_read_refreshes_the_age(self, kind, tmp_path):
+        clock = FakeClock()
+        backend = make_backend(kind, tmp_path, clock=clock)
+        backend.put("ns", hex_key(6), {"v": 1})
+        clock.advance(100.0)
+        assert backend.get("ns", hex_key(6))[0]
+        (entry,) = list(backend.scan("ns"))
+        assert entry.age_seconds == pytest.approx(0.0, abs=2.0)
+
+
+# ----------------------------------------------------------------------
+# Shard assignment
+# ----------------------------------------------------------------------
+def test_shard_index_is_stable_and_in_range():
+    for num_shards in (1, 2, 4, 16):
+        for index in range(64):
+            shard = shard_index(hex_key(index), num_shards)
+            assert 0 <= shard < num_shards
+            assert shard == shard_index(hex_key(index), num_shards)
+
+
+def test_shard_index_spreads_keys():
+    shards = {shard_index(hex_key(index), 4) for index in range(200)}
+    assert shards == {0, 1, 2, 3}
+
+
+# ----------------------------------------------------------------------
+# ShardedJsonlBackend specifics
+# ----------------------------------------------------------------------
+class TestJsonl:
+    def test_rejects_non_dict_records(self, tmp_path):
+        backend = make_backend("jsonl", tmp_path)
+        with pytest.raises(TypeError):
+            backend.put("", hex_key(1), [1, 2, 3])
+
+    def test_rejects_bad_shard_counts(self, tmp_path):
+        for num_shards in (0, -1, 100):
+            with pytest.raises(ValueError):
+                ShardedJsonlBackend(tmp_path / "x.jsonl", num_shards=num_shards)
+
+    def test_writes_go_to_the_hashed_shard(self, tmp_path):
+        backend = make_backend("jsonl", tmp_path, num_shards=4)
+        keys = [hex_key(index) for index in range(12)]
+        for key in keys:
+            backend.put("", key, {"v": 1})
+        for key in keys:
+            shard_file = backend.shard_path(shard_index(key, 4))
+            assert key in shard_file.read_text()
+
+    def test_legacy_single_file_reads_as_shard_zero(self, tmp_path):
+        legacy = make_backend("jsonl", tmp_path, num_shards=1)
+        keys = [hex_key(index) for index in range(10)]
+        for key in keys:
+            legacy.put("", key, {"v": 1})
+        assert (tmp_path / "records.jsonl").exists()
+
+        sharded = make_backend("jsonl", tmp_path, num_shards=4)
+        assert all(sharded.get("", key)[0] for key in keys)
+        assert sharded.corrupt_lines == 0
+
+    def test_append_is_visible_to_a_fresh_open(self, tmp_path):
+        first = make_backend("jsonl", tmp_path, num_shards=2)
+        second = make_backend("jsonl", tmp_path, num_shards=2)
+        first.put("", hex_key(1), {"v": 1})
+        # Not visible to an already-open backend (content-hash keys make
+        # this safe: the worst case is a recompute)...
+        assert not second.contains("", hex_key(1))
+        # ...but a fresh open sees it.
+        third = make_backend("jsonl", tmp_path, num_shards=2)
+        assert third.get("", hex_key(1)) == (True, third._records[("", hex_key(1))])
+
+    def test_corrupt_lines_counted_and_skipped(self, tmp_path):
+        backend = make_backend("jsonl", tmp_path)
+        backend.put("", hex_key(1), {"v": 1})
+        with (tmp_path / "records.jsonl").open("a", encoding="utf-8") as handle:
+            handle.write("{truncated\n")
+            handle.write(json.dumps({"no_key": True}) + "\n")
+            handle.write("\n")  # blank lines are not corruption
+        reopened = make_backend("jsonl", tmp_path)
+        assert reopened.corrupt_lines == 2
+        assert len(reopened) == 1
+
+    def test_validate_hook_marks_records_corrupt(self, tmp_path):
+        backend = ShardedJsonlBackend(tmp_path / "records.jsonl")
+        backend.put("", hex_key(1), {"v": 1})
+        backend.put("", hex_key(2), {"other": 2})
+        validated = ShardedJsonlBackend(
+            tmp_path / "records.jsonl", validate=lambda record: "v" in record
+        )
+        assert validated.corrupt_lines == 1
+        assert validated.contains("", hex_key(1))
+        assert not validated.contains("", hex_key(2))
+
+    def test_compaction_dedups_migrates_and_is_byte_stable(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        legacy = ShardedJsonlBackend(path)
+        keys = [hex_key(index) for index in range(20)]
+        for key in keys:
+            legacy.put("", key, {"v": 1})
+        # Duplicate some lines (a second writer racing on the same keys)
+        # and corrupt one.
+        with path.open("a", encoding="utf-8") as handle:
+            for key in keys[:5]:
+                handle.write(json.dumps({"key": key, "v": 1}) + "\n")
+            handle.write("garbage\n")
+
+        backend = ShardedJsonlBackend(path, num_shards=4)
+        report = backend.compact()
+        assert report.entries_kept == 20
+        assert report.dropped_duplicates == 5
+        assert report.dropped_corrupt == 1
+        assert report.migrated_legacy > 0
+        assert report.shards_rewritten == 4
+
+        def shard_bytes():
+            return [backend.shard_path(index).read_bytes() for index in range(4)]
+
+        first = shard_bytes()
+        second_report = ShardedJsonlBackend(path, num_shards=4).compact()
+        assert second_report.dropped == 0
+        assert shard_bytes() == first  # byte-stable under re-compaction
+        reopened = ShardedJsonlBackend(path, num_shards=4)
+        assert all(reopened.get("", key)[0] for key in keys)
+
+    def test_compaction_merges_records_appended_by_another_writer(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        ours = ShardedJsonlBackend(path, num_shards=2)
+        ours.put("", hex_key(1), {"v": 1})
+        theirs = ShardedJsonlBackend(path, num_shards=2)
+        theirs.put("", hex_key(2), {"v": 2})
+        ours.compact()  # must not lose the other writer's record
+        reopened = ShardedJsonlBackend(path, num_shards=2)
+        assert reopened.contains("", hex_key(1))
+        assert reopened.contains("", hex_key(2))
+
+    def test_stray_shards_from_a_wider_layout_are_absorbed(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        wide = ShardedJsonlBackend(path, num_shards=8)
+        keys = [hex_key(index) for index in range(24)]
+        for key in keys:
+            wide.put("", key, {"v": 1})
+        narrow = ShardedJsonlBackend(path, num_shards=2)
+        assert all(narrow.get("", key)[0] for key in keys)
+        narrow.compact()
+        remaining = sorted(p.name for p in tmp_path.glob("records*.jsonl"))
+        assert remaining == ["records.jsonl", "records.s01.jsonl"]
+        reopened = ShardedJsonlBackend(path, num_shards=2)
+        assert all(reopened.contains("", key) for key in keys)
+
+    def test_delete_survives_compaction(self, tmp_path):
+        path = tmp_path / "records.jsonl"
+        backend = ShardedJsonlBackend(path)
+        backend.put("", hex_key(1), {"v": 1})
+        backend.put("", hex_key(2), {"v": 2})
+        backend.delete("", hex_key(1))
+        backend.compact()
+        reopened = ShardedJsonlBackend(path)
+        assert not reopened.contains("", hex_key(1))
+        assert reopened.contains("", hex_key(2))
+
+
+# ----------------------------------------------------------------------
+# PickleDirBackend specifics
+# ----------------------------------------------------------------------
+class TestPickleDir:
+    def test_arbitrary_picklables_round_trip(self, tmp_path):
+        backend = make_backend("pickle", tmp_path)
+        value = {"nested": [1, (2, 3)], "text": "x" * 100}
+        backend.put("stage", hex_key(1), value)
+        assert backend.get("stage", hex_key(1)) == (True, value)
+        assert backend.get("stage", hex_key(1))[1] == value
+
+    def test_flat_layout_when_unsharded(self, tmp_path):
+        backend = make_backend("pickle", tmp_path)
+        backend.put("stage", hex_key(1), 1)
+        assert (tmp_path / "pickles" / "stage" / f"{hex_key(1)[:32]}.pkl").exists()
+
+    def test_sharded_layout_and_legacy_fallback(self, tmp_path):
+        flat = make_backend("pickle", tmp_path)
+        keys = [hex_key(index) for index in range(10)]
+        for index, key in enumerate(keys):
+            flat.put("stage", key, index)
+
+        sharded = make_backend("pickle", tmp_path, num_shards=4)
+        assert all(sharded.get("stage", key)[0] for key in keys)
+        sharded.put("stage", hex_key(99), 99)
+        expected_dir = f"s{shard_index(hex_key(99)[:32], 4):02d}"
+        assert (tmp_path / "pickles" / "stage" / expected_dir / f"{hex_key(99)[:32]}.pkl").exists()
+
+    def test_corrupt_file_counts_and_misses(self, tmp_path):
+        backend = make_backend("pickle", tmp_path)
+        backend.put("stage", hex_key(1), "good")
+        target = tmp_path / "pickles" / "stage" / f"{hex_key(1)[:32]}.pkl"
+        target.write_bytes(b"\x80\x04 not a pickle")
+        hit, _ = backend.get("stage", hex_key(1))
+        assert not hit
+        assert backend.counters.corrupt == 1
+
+    def test_compaction_migrates_drops_corrupt_and_cleans_tmp(self, tmp_path):
+        import os
+
+        flat = make_backend("pickle", tmp_path)
+        keys = [hex_key(index) for index in range(8)]
+        for index, key in enumerate(keys):
+            flat.put("stage", key, index)
+        stage_dir = tmp_path / "pickles" / "stage"
+        (stage_dir / f"{hex_key(50)[:32]}.pkl").write_bytes(b"junk")
+        orphan = stage_dir / "leftover.pkl.12345.tmp"
+        orphan.write_bytes(b"partial write from an interrupted run")
+        stale = time.time() - 3600
+        os.utime(orphan, times=(stale, stale))
+        in_flight = stage_dir / "racing.pkl.99999.tmp"
+        in_flight.write_bytes(b"a live writer's in-flight temp file")
+
+        backend = make_backend("pickle", tmp_path, num_shards=4)
+        report = backend.compact()
+        assert report.entries_kept == 8
+        assert report.dropped_corrupt == 1
+        assert report.migrated_legacy == 8
+        # Stale orphans are swept; a fresh temp file (possibly a live
+        # writer mid-rename) is left alone.
+        assert list(stage_dir.glob("*.tmp")) == [in_flight]
+        assert not list(stage_dir.glob("*.pkl"))  # everything migrated into sNN/
+        assert all(backend.get("stage", key)[0] for key in keys)
+
+    def test_compaction_resolves_duplicates_across_layouts(self, tmp_path):
+        sharded = make_backend("pickle", tmp_path, num_shards=4)
+        sharded.put("stage", hex_key(1), "sharded-copy")
+        flat = make_backend("pickle", tmp_path, num_shards=1)
+        flat.put("stage", hex_key(1), "sharded-copy")  # same key, legacy location
+
+        report = sharded.compact()
+        assert report.dropped_duplicates == 1
+        assert report.entries_kept == 1
+        assert sharded.get("stage", hex_key(1)) == (True, "sharded-copy")
+
+    def test_unsharding_migrates_back_to_flat(self, tmp_path):
+        sharded = make_backend("pickle", tmp_path, num_shards=4)
+        keys = [hex_key(index) for index in range(6)]
+        for key in keys:
+            sharded.put("stage", key, "v")
+        flat = make_backend("pickle", tmp_path, num_shards=1)
+        report = flat.compact()
+        assert report.migrated_legacy == 6
+        stage_dir = tmp_path / "pickles" / "stage"
+        assert len(list(stage_dir.glob("*.pkl"))) == 6
+        # Emptied shard directories stay (removing them races concurrent
+        # writers); they just hold no entries any more.
+        assert not list(stage_dir.glob("s??/*.pkl"))
+        assert all(flat.get("stage", key)[0] for key in keys)
+
+    def test_scan_merges_cross_layout_copies(self, tmp_path):
+        clock = FakeClock()
+        sharded = make_backend("pickle", tmp_path, clock=clock, num_shards=4)
+        sharded.put("stage", hex_key(1), "copy")
+        flat = make_backend("pickle", tmp_path, clock=clock, num_shards=1)
+        flat.put("stage", hex_key(1), "copy")  # same key, legacy location
+
+        (entry,) = list(sharded.scan("stage"))  # one logical entry, not two
+        assert entry.key == hex_key(1)[:32]
+        assert len(sharded) == 1
+        assert sharded.stats().entries == 1
+        assert sharded.stats().disk_files == 2
+
+    def test_gc_judges_a_duplicated_key_by_its_freshest_copy(self, tmp_path):
+        from repro.store import StoreJanitor
+
+        clock = FakeClock()
+        flat = make_backend("pickle", tmp_path, clock=clock, num_shards=1)
+        flat.put("stage", hex_key(1), "copy")
+        clock.advance(1000.0)
+        sharded = make_backend("pickle", tmp_path, clock=clock, num_shards=4)
+        sharded.put("stage", hex_key(1), "copy")  # fresh duplicate in sNN/
+
+        report = StoreJanitor(sharded, max_age_seconds=500.0).sweep(compact=False)
+        assert report.evicted == 0  # the stale flat copy must not doom the key
+        assert sharded.contains("stage", hex_key(1))
