@@ -44,7 +44,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
-from repro.store import PickleDirBackend, StoreJanitor, StoreStats
+from repro.store import PickleDirBackend, StoreBackend, StoreJanitor, StoreStats
 from repro.store.pickledir import DEFAULT_KEY_PREFIX_LENGTH
 
 #: Length of the key prefix used in artifact file names.  32 hex digits
@@ -96,14 +96,28 @@ class ArtifactStore:
         Shard-directory count per stage for new writes (1 reproduces the
         flat legacy layout).  Flat files are always readable regardless,
         so a directory written with any shard count loads warm.
+    backend:
+        Any ready-made :class:`~repro.store.StoreBackend` to persist into
+        instead of opening a pickle directory under ``root`` — this is how
+        a campaign points its artifact store at a shared store service
+        (:class:`~repro.store.RemoteBackend` /
+        :class:`~repro.store.TieredBackend`).  Namespaces are the stage
+        names either way.  Mutually exclusive with ``root``.
     """
 
-    def __init__(self, root: Optional[Union[str, Path]] = None, shards: int = 1) -> None:
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        shards: int = 1,
+        backend: Optional[StoreBackend] = None,
+    ) -> None:
+        if root is not None and backend is not None:
+            raise ValueError("pass either a store root or a backend, not both")
         self.root = Path(root) if root is not None else None
         self.shards = shards
         self.stats = ArtifactStoreStats()
         self._memory: Dict[Tuple[str, str], Any] = {}
-        self.backend: Optional[PickleDirBackend] = None
+        self.backend: Optional[StoreBackend] = backend
         if self.root is not None:
             self.backend = PickleDirBackend(self.root / ARTIFACT_SUBDIR, num_shards=shards)
 
@@ -113,13 +127,13 @@ class ArtifactStore:
 
     @property
     def directory(self) -> Optional[Path]:
-        """On-disk artifact directory (``None`` for in-memory stores)."""
+        """On-disk artifact directory (``None`` for in-memory/remote stores)."""
         if self.root is None:
             return None
         return self.root / ARTIFACT_SUBDIR
 
     def _path(self, stage: str, key: str) -> Path:
-        assert self.backend is not None
+        assert isinstance(self.backend, PickleDirBackend)
         return self.backend.path_for(stage, key)
 
     def __len__(self) -> int:
@@ -158,8 +172,9 @@ class ArtifactStore:
                     if hit
                     else "treated as a miss; the stage will be recomputed"
                 )
+                location = self.directory or getattr(self.backend, "url", self.backend.name)
                 warnings.warn(
-                    f"artifact store {self.directory}: corrupt artifact "
+                    f"artifact store {location}: corrupt artifact "
                     f"{stage}/{key[:KEY_PREFIX_LENGTH]} {outcome}",
                     RuntimeWarning,
                     stacklevel=2,

@@ -40,7 +40,7 @@ from __future__ import annotations
 import warnings
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional, Union
+from typing import Dict, Iterable, Mapping, Optional, Set, Union
 
 from repro.core.exploration import DesignPointEvaluation
 from repro.core.stalls import StallEstimate
@@ -97,14 +97,44 @@ class EvaluationCache:
         Shard-file count for new writes (1 reproduces the single-file
         layout).  Existing shard files are always read regardless of this
         setting, so a directory written with any shard count loads warm.
+    backend:
+        Any ready-made :class:`~repro.store.StoreBackend` to use instead
+        of opening one from ``path`` — this is how a campaign points its
+        evaluation cache at a shared store service
+        (:class:`~repro.store.RemoteBackend` /
+        :class:`~repro.store.TieredBackend`).  Mutually exclusive with
+        ``path``.
+    namespace:
+        Store namespace the records live under.  The default empty
+        namespace matches the on-disk JSONL layout; remote caches use a
+        per-evaluation-context namespace (``evals-<ctx>``) so every
+        context shares one server cleanly.
     """
 
-    def __init__(self, path: Optional[Union[str, Path]] = None, shards: int = 1) -> None:
+    def __init__(
+        self,
+        path: Optional[Union[str, Path]] = None,
+        shards: int = 1,
+        backend: Optional[StoreBackend] = None,
+        namespace: str = "",
+    ) -> None:
+        if path is not None and backend is not None:
+            raise ValueError("pass either a cache path or a backend, not both")
         self.path = Path(path) if path is not None else None
         self.shards = shards
+        self.namespace = namespace
         self.stats = CacheStats()
-        if self.path is None:
-            self.backend: StoreBackend = MemoryBackend()
+        #: Records this cache has seen (prefetched, fetched or stored):
+        #: repeat lookups never go back to the backend, which is what
+        #: makes one batched ``mget`` per wave the only remote read.
+        self._front: Dict[str, dict] = {}
+        #: Keys a batch prefetch proved absent; consulted before the
+        #: backend so a cold wave costs one round trip, not one per key.
+        self._known_misses: Set[str] = set()
+        if backend is not None:
+            self.backend = backend
+        elif self.path is None:
+            self.backend = MemoryBackend()
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self.backend = ShardedJsonlBackend(
@@ -137,16 +167,14 @@ class EvaluationCache:
         return len(self.backend)  # type: ignore[arg-type]
 
     def __contains__(self, key: str) -> bool:
-        return self.backend.contains("", key)
+        return key in self._front or self.backend.contains(self.namespace, key)
 
     # ------------------------------------------------------------------
     # Store / lookup
     # ------------------------------------------------------------------
-    def put(self, key: str, evaluation: DesignPointEvaluation) -> None:
-        """Record ``evaluation`` under ``key`` and append it to its shard."""
-        if self.backend.contains("", key):
-            return
-        record = {
+    @staticmethod
+    def _record_of(evaluation: DesignPointEvaluation) -> dict:
+        return {
             "label": evaluation.architecture.name,
             "area_slices": evaluation.area_slices,
             "critical_path_ns": evaluation.critical_path_ns,
@@ -159,8 +187,58 @@ class EvaluationCache:
                 for kernel, estimate in evaluation.stall_estimates.items()
             },
         }
-        self.backend.put("", key, record)
+
+    def put(self, key: str, evaluation: DesignPointEvaluation) -> None:
+        """Record ``evaluation`` under ``key`` and append it to its shard."""
+        if key in self._front or self.backend.contains(self.namespace, key):
+            return
+        record = self._record_of(evaluation)
+        self.backend.put(self.namespace, key, record)
+        self._front[key] = record
+        self._known_misses.discard(key)
         self.stats.stores += 1
+
+    def put_many(self, evaluations: Mapping[str, DesignPointEvaluation]) -> int:
+        """Batch :meth:`put`: one backend ``put_many`` for a whole wave.
+
+        Over a remote backend this is the write hot path — one ``mput``
+        round trip per wave.  Keys already seen by this cache are skipped;
+        the backend deduplicates anything another worker stored meanwhile.
+        """
+        fresh = {
+            key: self._record_of(evaluation)
+            for key, evaluation in evaluations.items()
+            if key not in self._front
+        }
+        if not fresh:
+            return 0
+        self.backend.put_many(self.namespace, fresh)
+        self._front.update(fresh)
+        self._known_misses.difference_update(fresh)
+        self.stats.stores += len(fresh)
+        return len(fresh)
+
+    def prefetch(self, keys: Iterable[str]) -> int:
+        """Batch-resolve ``keys`` ahead of per-key :meth:`get` calls.
+
+        One backend ``get_many`` (one HTTP round trip on a remote) warms
+        the in-process front; subsequent :meth:`get` calls for these keys
+        — hits *and* misses — are then answered without touching the
+        backend again.  Returns the number of records fetched.
+        """
+        wanted = [
+            key for key in keys if key not in self._front and key not in self._known_misses
+        ]
+        if not wanted:
+            return 0
+        found = {
+            key: record
+            for key, record in self.backend.get_many(self.namespace, wanted).items()
+            if _valid_record(record)  # a remote peer may serve foreign records
+        }
+        self._front.update(found)
+        self._known_misses.update(key for key in wanted if key not in found)
+        return len(found)
 
     def get(self, key: str, job: EvaluationJob, array) -> Optional[DesignPointEvaluation]:
         """Rehydrate the evaluation stored under ``key``, or ``None`` on a miss.
@@ -168,10 +246,16 @@ class EvaluationCache:
         The architecture is rebuilt from the job's parameters (cheap and
         deterministic), then populated with the cached numbers.
         """
-        hit, record = self.backend.get("", key)
-        if not hit:
-            self.stats.misses += 1
-            return None
+        record = self._front.get(key)
+        if record is None:
+            if key in self._known_misses:
+                self.stats.misses += 1
+                return None
+            hit, record = self.backend.get(self.namespace, key)
+            if not hit or not _valid_record(record):
+                self.stats.misses += 1
+                return None
+            self._front[key] = record
         self.stats.hits += 1
         architecture = job.parameters.to_architecture(array, name=job.name)
         stall_estimates = {

@@ -224,6 +224,15 @@ class EvaluationEngine:
                 )
             while pending:
                 wave = [pending.popleft() for _ in range(min(wave_width, len(pending)))]
+                if self.cache is not None:
+                    # One batched lookup per wave: over a remote store this
+                    # is a single mget round trip; the per-key gets below
+                    # are then answered from the cache's in-process front.
+                    self.cache.prefetch(
+                        jobs[index].content_hash(self.context_hash)
+                        for chunk in wave
+                        for index in chunk
+                    )
                 dispatch: List[List[int]] = []
                 for chunk in wave:
                     misses: List[int] = []
@@ -281,13 +290,16 @@ class EvaluationEngine:
                         )
                     )
 
+                fresh: Dict[str, DesignPointEvaluation] = {}
                 for chunk, evaluations in zip(dispatch, wave_results):
                     for index, evaluation in zip(chunk, evaluations):
                         results[index] = evaluation
                         stats.evaluated += 1
                         if self.cache is not None:
-                            key = jobs[index].content_hash(self.context_hash)
-                            self.cache.put(key, evaluation)
+                            fresh[jobs[index].content_hash(self.context_hash)] = evaluation
+                if self.cache is not None and fresh:
+                    # One batched store per wave (a single mput remotely).
+                    self.cache.put_many(fresh)
 
                 if reject_frontier is not None and base_evaluation is not None:
                     for chunk, evaluations in zip(dispatch, wave_results):

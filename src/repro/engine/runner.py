@@ -29,7 +29,13 @@ from repro.core.exploration import ExplorationResult, RSPDesignSpaceExplorer
 from repro.core.stalls import ScheduleProfile
 from repro.engine.artifacts import ArtifactStore
 from repro.engine.cache import EvaluationCache
-from repro.store import JanitorReport
+from repro.store import (
+    JanitorReport,
+    RemoteBackend,
+    StoreBackend,
+    StoreJanitor,
+    TieredBackend,
+)
 from repro.engine.executor import (
     EngineRunStats,
     ExecutorConfig,
@@ -181,6 +187,18 @@ class CampaignRunner:
         single-file/flat layouts; existing layouts of any shard count are
         read either way.  Ignored when ``mapper`` is supplied (its store
         is already configured).
+    store_url:
+        URL of a ``repro.service`` store server.  Both the evaluation
+        cache and the artifact store then live on that service (one warm
+        store for a whole fleet of workers) instead of under
+        ``cache_dir``/``artifact_dir`` — passing those together with a
+        URL is an error.  The evaluation records of each context land in
+        a ``evals-<ctx>`` namespace, artifacts under their stage names.
+    store_tier:
+        Front the remote store with an in-memory read-through /
+        write-behind :class:`~repro.store.TieredBackend`: repeat reads
+        never re-contact the server and writes batch into one request
+        per flush.  Only meaningful with ``store_url``.
     gc_max_age:
         When set, a post-campaign janitor pass evicts store entries not
         written or read for this many seconds.
@@ -200,18 +218,47 @@ class CampaignRunner:
         store_shards: int = 1,
         gc_max_age: Optional[float] = None,
         compact: bool = False,
+        store_url: Optional[str] = None,
+        store_tier: bool = False,
     ) -> None:
+        if store_url is not None and (cache_dir is not None or artifact_dir is not None):
+            raise ValueError(
+                "store_url replaces the local stores; drop cache_dir/artifact_dir"
+            )
+        if store_tier and store_url is None:
+            raise ValueError("store_tier tiers a remote store; it needs store_url")
         self.spec = spec
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.store_shards = store_shards
         self.gc_max_age = gc_max_age
         self.compact = compact
+        self.store_url = store_url
+        self._remote: Optional[RemoteBackend] = None
+        self._tier: Optional[TieredBackend] = None
+        self._store_backend: Optional[StoreBackend] = None
+        if store_url is not None:
+            self._remote = RemoteBackend(store_url)
+            self._store_backend = self._remote
+            if store_tier:
+                self._tier = TieredBackend(self._remote)
+                self._store_backend = self._tier
         if mapper is None:
-            mapper = RSPMapper(store=ArtifactStore(self.artifact_dir, shards=store_shards))
+            if self._store_backend is not None:
+                store = ArtifactStore(backend=self._store_backend)
+            else:
+                store = ArtifactStore(self.artifact_dir, shards=store_shards)
+            mapper = RSPMapper(store=store)
         self.mapper = mapper
         self.pipeline = mapper.pipeline
         self.profile_provider: ProfileProvider = profile_provider or self._pipeline_profiles
+
+    def close(self) -> None:
+        """Drain the write-behind tier and close remote connections."""
+        if self._tier is not None:
+            self._tier.close()
+        if self._remote is not None:
+            self._remote.close()
 
     def _pipeline_profiles(
         self, suite_name: str, kernels: Sequence[Kernel]
@@ -250,17 +297,24 @@ class CampaignRunner:
 
             explorer = RSPDesignSpaceExplorer(profiles, array=self.mapper.base.array)
             cache: Optional[EvaluationCache] = None
-            if self.cache_dir is not None:
+            if self._store_backend is not None or self.cache_dir is not None:
                 context = evaluation_context_hash(
                     profiles,
                     explorer.array,
                     explorer.cost_model,
                     explorer.timing_model,
                 )
-                cache = EvaluationCache.for_context(
-                    self.cache_dir, context, shards=self.store_shards
-                )
-                cache_paths.append(str(cache.path))
+                if self._store_backend is not None:
+                    namespace = f"evals-{context[:16]}"
+                    cache = EvaluationCache(
+                        backend=self._store_backend, namespace=namespace
+                    )
+                    cache_paths.append(f"{self.store_url}#{namespace}")
+                else:
+                    cache = EvaluationCache.for_context(
+                        self.cache_dir, context, shards=self.store_shards
+                    )
+                    cache_paths.append(str(cache.path))
                 caches.append(cache)
 
             outcome = run_exploration(
@@ -307,6 +361,11 @@ class CampaignRunner:
             totals.cache_misses += stats.cache_misses
             totals.early_rejected += stats.early_rejected
 
+        if self._tier is not None:
+            # Settle the write-behind queue so the report's server-side
+            # snapshots and flush counters describe a quiesced store.
+            self._tier.flush()
+
         janitor_block: Optional[Dict[str, object]] = None
         if self.compact or self.gc_max_age is not None:
             janitor_block = self._run_janitors(caches)
@@ -331,18 +390,41 @@ class CampaignRunner:
             artifact_misses=store_stats.misses - store_misses_before,
             mapping_seconds=sum(delta.seconds for delta in run_delta.values()),
             mapping_stages=stage_timings_as_dict(run_delta),
-            store_stats={
-                "shards": self.store_shards,
-                "artifacts": self.pipeline.store.store_stats(),
-                "evaluations": [cache.store_stats() for cache in caches],
-                "janitor": janitor_block,
-            },
+            store_stats=self._store_stats_block(caches, janitor_block),
         )
         return report, results
+
+    def _store_stats_block(
+        self, caches: Sequence[EvaluationCache], janitor_block: Optional[Dict[str, object]]
+    ) -> Dict[str, object]:
+        """The report's storage snapshot (plus remote/tier counters)."""
+        block: Dict[str, object] = {
+            "shards": self.store_shards,
+            "artifacts": self.pipeline.store.store_stats(),
+            "janitor": janitor_block,
+        }
+        if self._store_backend is not None:
+            # All remote caches share one backend; one snapshot suffices.
+            block["evaluations"] = [self._store_backend.stats()] if caches else []
+            block["store_url"] = self.store_url
+        else:
+            block["evaluations"] = [cache.store_stats() for cache in caches]
+        if self._remote is not None:
+            block["remote"] = self._remote.remote_stats()
+        if self._tier is not None:
+            block["tier"] = self._tier.tier_stats()
+        return block
 
     def _run_janitors(self, caches: Sequence[EvaluationCache]) -> Dict[str, object]:
         """Post-campaign GC/compaction over every persistent store."""
         block: Dict[str, object] = {"gc_max_age": self.gc_max_age, "compacted": self.compact}
+        if self._store_backend is not None:
+            # One server-side pass covers every namespace (artifacts and
+            # all evaluation contexts) in a single request.
+            block["remote"] = StoreJanitor(
+                self._store_backend, max_age_seconds=self.gc_max_age
+            ).sweep(compact=self.compact)
+            return block
         if self.pipeline.store.persistent:
             block["artifacts"] = self.pipeline.store.janitor(self.gc_max_age).sweep(
                 compact=self.compact

@@ -1,0 +1,53 @@
+"""Fleet-wide store service: the storage layer over HTTP.
+
+One process runs ``python -m repro.service --root DIR --port N`` next to
+a store directory; any number of campaign workers on any machine point
+``--store-url http://host:N`` at it and share one warm evaluation cache
+and artifact store.  The pieces:
+
+:class:`~repro.service.server.StoreServer`
+    Stdlib-only ``ThreadingHTTPServer`` exposing any local
+    :class:`~repro.store.backend.StoreBackend` (item routes, batch
+    ``mget``/``mput``, ``/healthz``, ``/stats``, ``/janitor``).
+
+:class:`~repro.store.remote.RemoteBackend`
+    The client: the full store protocol over keep-alive HTTP with
+    retry/backoff and an offline-tolerant degraded mode.
+
+:class:`~repro.store.tiered.TieredBackend`
+    A read-through memory front with write-behind batching over any
+    backend — a fleet worker's local tier over the remote store.
+
+:func:`open_store_backend`
+    The one-liner the engine, the flow and the CLI share to build a
+    remote (optionally tiered) backend from a URL.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.store.remote import RemoteBackend, StoreServiceError
+from repro.store.tiered import TieredBackend
+from repro.service.server import StoreRequestHandler, StoreServer, StoreService
+
+
+def open_store_backend(
+    url: str, *, tiered: bool = False, **remote_options
+) -> Union[RemoteBackend, TieredBackend]:
+    """A remote backend for ``url``, optionally fronted by a memory tier."""
+    remote = RemoteBackend(url, **remote_options)
+    if tiered:
+        return TieredBackend(remote)
+    return remote
+
+
+__all__ = [
+    "RemoteBackend",
+    "StoreRequestHandler",
+    "StoreServer",
+    "StoreService",
+    "StoreServiceError",
+    "TieredBackend",
+    "open_store_backend",
+]

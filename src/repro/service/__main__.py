@@ -1,0 +1,86 @@
+"""Command-line entry point: ``python -m repro.service``.
+
+Serves a store directory to a fleet of campaign workers, e.g.::
+
+    python -m repro.service --root /srv/repro-store --port 8731
+
+    # elsewhere, any number of times, on any machine:
+    python -m repro.engine --suite paper --store-url http://store-host:8731
+
+The default ``pickle`` backend accepts every value the workers send
+(evaluation records as JSON, mapping artifacts as opaque binary);
+``--backend jsonl`` serves a records-only store that rejects binary
+payloads with ``415``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.service.server import StoreServer
+from repro.store import PickleDirBackend, ShardedJsonlBackend
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve a store directory over HTTP for fleet-wide reuse.",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        required=True,
+        help="store directory the service owns (created on demand)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=8731, help="listen port (default: 8731; 0 = ephemeral)"
+    )
+    parser.add_argument(
+        "--backend",
+        choices=("pickle", "jsonl"),
+        default="pickle",
+        help="storage backend: pickle accepts any value (default), "
+        "jsonl is records-only (binary payloads get 415)",
+    )
+    parser.add_argument(
+        "--store-shards",
+        type=int,
+        default=1,
+        help="shard count of the served backend (default: 1)",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress the startup banner")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if not 1 <= args.store_shards <= 99:
+        print(f"error: store shards must be in 1..99, got {args.store_shards}", file=sys.stderr)
+        return 2
+    args.root.mkdir(parents=True, exist_ok=True)
+    if args.backend == "jsonl":
+        backend = ShardedJsonlBackend(args.root / "records.jsonl", num_shards=args.store_shards)
+    else:
+        backend = PickleDirBackend(args.root, num_shards=args.store_shards)
+    server = StoreServer(backend, host=args.host, port=args.port)
+    if not args.quiet:
+        print(
+            f"repro store service: {args.backend} backend on {args.root} "
+            f"({args.store_shards} shard(s)) at {server.url}",
+            flush=True,
+        )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.httpd.server_close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,17 @@ Three backends implement it:
     subdirectories, write-then-rename stores under advisory locks, and the
     pre-shard flat layout read transparently as shard 0.
 
+Two composable backends extend the reach of the local three:
+
+``RemoteBackend``
+    The store protocol over HTTP against a ``repro.service`` store
+    server — keep-alive connections, batch ``mget``/``mput``,
+    retry/backoff and an offline-tolerant degraded mode.
+
+``TieredBackend``
+    A read-through :class:`MemoryBackend` front with write-behind
+    batching over any backend (typically a remote one).
+
 On top, :class:`~repro.store.janitor.StoreJanitor` provides age-based GC
 and shard compaction, and every backend can snapshot itself as a
 :class:`~repro.store.backend.StoreStats` for reports.
@@ -38,17 +49,22 @@ from repro.store.janitor import JanitorReport, StoreJanitor
 from repro.store.jsonl import ShardedJsonlBackend
 from repro.store.locks import locked
 from repro.store.pickledir import PickleDirBackend
+from repro.store.remote import RemoteBackend, StoreServiceError
+from repro.store.tiered import TieredBackend
 
 __all__ = [
     "CompactionReport",
     "JanitorReport",
     "MemoryBackend",
     "PickleDirBackend",
+    "RemoteBackend",
     "ShardedJsonlBackend",
     "StoreBackend",
     "StoreEntry",
     "StoreJanitor",
+    "StoreServiceError",
     "StoreStats",
+    "TieredBackend",
     "locked",
     "shard_index",
 ]

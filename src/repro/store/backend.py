@@ -20,7 +20,7 @@ from __future__ import annotations
 import hashlib
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterator, Optional, Protocol, Tuple
+from typing import Any, Callable, Dict, Iterator, Mapping, Optional, Protocol, Sequence, Tuple
 
 
 def shard_index(key: str, num_shards: int) -> int:
@@ -98,6 +98,13 @@ class StoreBackend(Protocol):
     ``scan`` yields metadata (not values) cheaply enough for a GC sweep;
     ``compact`` rewrites the physical layout without changing the logical
     contents and reports what it dropped.
+
+    ``get_many``/``put_many`` are the batch face of the protocol — the hot
+    path of the HTTP store service, where one batch call is one round
+    trip.  The defaults below fall back to per-key loops, so every backend
+    supports them; backends with a cheaper bulk plan (one lock per shard,
+    one request per wave) override them.  The concrete backends inherit
+    these defaults by explicitly subclassing the protocol.
     """
 
     name: str
@@ -116,6 +123,21 @@ class StoreBackend(Protocol):
 
     def compact(self) -> CompactionReport: ...
 
+    def get_many(self, namespace: str, keys: Sequence[str]) -> Dict[str, Any]:
+        """Batch lookup: ``key -> value`` for every hit (misses absent)."""
+        found: Dict[str, Any] = {}
+        for key in keys:
+            hit, value = self.get(namespace, key)
+            if hit:
+                found[key] = value
+        return found
+
+    def put_many(self, namespace: str, records: Mapping[str, Any]) -> int:
+        """Batch store; returns how many records the backend accepted."""
+        for key, value in records.items():
+            self.put(namespace, key, value)
+        return len(records)
+
 
 @dataclass
 class _Counters:
@@ -128,7 +150,7 @@ class _Counters:
     evicted: int = 0
 
 
-class MemoryBackend:
+class MemoryBackend(StoreBackend):
     """A process-local dictionary behind the store protocol.
 
     Parameters
@@ -167,6 +189,16 @@ class MemoryBackend:
         self._data[entry] = value
         self._access[entry] = self._clock()
         self.counters.stores += 1
+
+    def put_many(self, namespace: str, records) -> int:
+        """Batch store that skips existing keys (content-hash semantics)."""
+        stored = 0
+        for key, value in records.items():
+            if (namespace, key) in self._data:
+                continue
+            self.put(namespace, key, value)
+            stored += 1
+        return stored
 
     def delete(self, namespace: str, key: str) -> bool:
         entry = (namespace, key)

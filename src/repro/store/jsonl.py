@@ -46,10 +46,11 @@ import os
 import re
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.store.backend import (
     CompactionReport,
+    StoreBackend,
     StoreEntry,
     StoreStats,
     _Counters,
@@ -93,7 +94,7 @@ def _parse_lines(
     return records, sizes, corrupt
 
 
-class ShardedJsonlBackend:
+class ShardedJsonlBackend(StoreBackend):
     """N append-only JSON-lines shards behind the store protocol.
 
     Parameters
@@ -207,8 +208,8 @@ class ShardedJsonlBackend:
         self.counters.hits += 1
         return True, record
 
-    def put(self, namespace: str, key: str, value: Any) -> None:
-        """Record the JSON object ``value`` under ``key`` and append it.
+    def _admit(self, namespace: str, key: str, value: Any) -> Optional[dict]:
+        """Register a new record in memory; ``None`` when the key exists.
 
         The stored line carries the reserved fields; ``value`` itself is
         left untouched.  Re-putting an existing key is a no-op (keys are
@@ -216,7 +217,7 @@ class ShardedJsonlBackend:
         """
         entry = (namespace, key)
         if entry in self._records:
-            return
+            return None
         if not isinstance(value, dict):
             raise TypeError(f"jsonl records must be flat JSON objects, got {type(value).__name__}")
         record = dict(value)
@@ -228,20 +229,76 @@ class ShardedJsonlBackend:
         self._stamp[entry] = record["ts"]
         self._deleted.discard(entry)
         self.counters.stores += 1
-        self._sizes[entry] = self._append(shard_index(key, self.num_shards), record)
+        return record
 
-    def _append(self, shard: int, record: dict) -> int:
-        """Append one record line to its shard; returns the bytes written."""
+    def put(self, namespace: str, key: str, value: Any) -> None:
+        """Record the JSON object ``value`` under ``key`` and append it."""
+        record = self._admit(namespace, key, value)
+        if record is None:
+            return
+        written = self._append(shard_index(key, self.num_shards), [record])
+        self._sizes[(namespace, key)] = written[0]
+
+    def put_many(self, namespace: str, records: Mapping[str, Any]) -> int:
+        """Batch store: group new records by shard, one lock+append per shard.
+
+        The sharded override of the protocol's per-key loop — batch HTTP
+        endpoints and local callers share this code path, and a campaign
+        wave costs one advisory lock per touched shard instead of one per
+        record.
+        """
+        # Validate the whole batch before admitting anything: _admit
+        # registers records in memory ahead of the shard appends, so a
+        # mid-loop domain error would otherwise leave earlier records
+        # readable in this process but never written to disk.
+        for key, value in records.items():
+            if not isinstance(value, dict):
+                raise TypeError(
+                    f"jsonl records must be flat JSON objects, got {type(value).__name__}"
+                )
+        grouped: Dict[int, List[Tuple[str, dict]]] = {}
+        stored = 0
+        for key, value in records.items():
+            record = self._admit(namespace, key, value)
+            if record is None:
+                continue
+            stored += 1
+            grouped.setdefault(shard_index(key, self.num_shards), []).append((key, record))
+        for shard, members in grouped.items():
+            written = self._append(shard, [record for _, record in members])
+            for (key, _), size in zip(members, written):
+                self._sizes[(namespace, key)] = size
+        return stored
+
+    def get_many(self, namespace: str, keys: Sequence[str]) -> Dict[str, Any]:
+        """Batch lookup served from the merged in-memory map (one clock read)."""
+        found: Dict[str, Any] = {}
+        now = self._clock()
+        for key in keys:
+            entry = (namespace, key)
+            record = self._records.get(entry)
+            if record is None:
+                self.counters.misses += 1
+                continue
+            self._access[entry] = now
+            self.counters.hits += 1
+            found[key] = record
+        return found
+
+    def _append(self, shard: int, records: Sequence[dict]) -> List[int]:
+        """Append record lines to one shard; returns the bytes per line."""
         path = self.shard_path(shard)
         path.parent.mkdir(parents=True, exist_ok=True)
-        data = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        lines = [
+            (json.dumps(record, sort_keys=True) + "\n").encode("utf-8") for record in records
+        ]
         with locked(path):
             descriptor = os.open(path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
             try:
-                os.write(descriptor, data)
+                os.write(descriptor, b"".join(lines))
             finally:
                 os.close(descriptor)
-        return len(data)
+        return [len(line) for line in lines]
 
     def delete(self, namespace: str, key: str) -> bool:
         """Drop the entry from this backend; the line disappears on compaction."""

@@ -40,6 +40,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple, Union
 
 from repro.store.backend import (
     CompactionReport,
+    StoreBackend,
     StoreEntry,
     StoreStats,
     _Counters,
@@ -63,7 +64,7 @@ def _dir_lock_target(directory: Path) -> Path:
     return directory / _DIR_LOCK_STEM
 
 
-class PickleDirBackend:
+class PickleDirBackend(StoreBackend):
     """Pickle files in (optionally sharded) namespace directories.
 
     Parameters
@@ -239,6 +240,22 @@ class PickleDirBackend:
                     pass
                 raise
         self.counters.stores += 1
+
+    def put_many(self, namespace: str, records) -> int:
+        """Batch store that skips keys already on disk.
+
+        Keys are content hashes, so an existing entry already holds the
+        value being offered — skipping saves the pickle+rename work when
+        a second writer re-offers a whole wave.  Returns the number of
+        records actually written.
+        """
+        stored = 0
+        for key, value in records.items():
+            if self.contains(namespace, key):
+                continue
+            self.put(namespace, key, value)
+            stored += 1
+        return stored
 
     def delete(self, namespace: str, key: str) -> bool:
         removed = False

@@ -1,0 +1,124 @@
+"""Wire encoding shared by the store service and its remote client.
+
+The store protocol's value domain is heterogeneous: evaluation records
+are flat JSON objects, mapping artifacts are arbitrary picklables.  On
+the wire both travel as one of two content types:
+
+``application/json``
+    Values that survive a JSON round trip *exactly* (the check is a
+    re-parse comparison, so dicts with non-string keys, tuples and NaNs
+    all fall through to pickle instead of being silently mangled).
+
+``application/octet-stream``
+    A pickle stream produced by the client.  The server stores these as
+    opaque ``bytes`` and never unpickles them — only the trusting client
+    that wrote a payload decodes it, so a store service is not an
+    arbitrary-code-execution endpoint.
+
+Batch endpoints carry many values inside one JSON envelope; there each
+value becomes a *cell* — ``{"ct": "json", "v": value}`` or ``{"ct":
+"pkl", "v": base64}`` — with the same json-first rule.
+
+ETags are the SHA-256 of the encoded body.  Keys are content hashes, so
+a value can never change under its key: an ETag match is permanent and
+``If-None-Match`` revalidation always short-circuits.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import hashlib
+import json
+import pickle
+from typing import Any, Tuple
+
+JSON_CONTENT_TYPE = "application/json"
+BINARY_CONTENT_TYPE = "application/octet-stream"
+
+
+class WireError(ValueError):
+    """A payload that cannot be decoded under the wire contract."""
+
+
+def _as_json_bytes(value: Any) -> bytes:
+    """Canonical JSON bytes of ``value``, or raise when lossy/impossible."""
+    body = json.dumps(value, sort_keys=True).encode("utf-8")
+    if json.loads(body) != value:
+        raise WireError("value does not survive a JSON round trip")
+    return body
+
+
+def encode_value(value: Any) -> Tuple[str, bytes]:
+    """Client-side body encoding: ``(content_type, body)`` for a PUT."""
+    if not isinstance(value, bytes):
+        try:
+            return JSON_CONTENT_TYPE, _as_json_bytes(value)
+        except (TypeError, ValueError):
+            pass
+    return BINARY_CONTENT_TYPE, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_body(content_type: str, body: bytes, *, unpickle: bool) -> Any:
+    """Decode a request/response body.
+
+    The server passes ``unpickle=False`` (binary payloads stay opaque
+    ``bytes``); the client passes ``unpickle=True`` to get its object
+    back.
+    """
+    base_type = content_type.split(";", 1)[0].strip().lower()
+    if base_type == JSON_CONTENT_TYPE:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise WireError(f"malformed JSON body: {exc}") from exc
+    if base_type == BINARY_CONTENT_TYPE:
+        if not unpickle:
+            return body
+        try:
+            return pickle.loads(body)
+        except Exception as exc:  # pickle raises a zoo of types
+            raise WireError(f"undecodable binary body: {exc}") from exc
+    raise WireError(f"unsupported content type {content_type!r}")
+
+
+def server_body(value: Any) -> Tuple[str, bytes]:
+    """Server-side body encoding for a GET: stored ``bytes`` pass through."""
+    if isinstance(value, bytes):
+        return BINARY_CONTENT_TYPE, value
+    try:
+        return JSON_CONTENT_TYPE, _as_json_bytes(value)
+    except (TypeError, ValueError):
+        # A local backend can hold values the service did not store
+        # (e.g. a pre-seeded PickleDirBackend); ship them pickled.
+        return BINARY_CONTENT_TYPE, pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def encode_cell(value: Any) -> dict:
+    """One value inside a batch JSON envelope."""
+    content_type, body = (
+        server_body(value) if isinstance(value, bytes) else encode_value(value)
+    )
+    if content_type == JSON_CONTENT_TYPE:
+        return {"ct": "json", "v": json.loads(body.decode("utf-8"))}
+    return {"ct": "pkl", "v": base64.b64encode(body).decode("ascii")}
+
+
+def decode_cell(cell: Any, *, unpickle: bool) -> Any:
+    """Inverse of :func:`encode_cell` (see :func:`decode_body` for modes)."""
+    if not isinstance(cell, dict) or "ct" not in cell or "v" not in cell:
+        raise WireError(f"malformed batch cell: {cell!r}")
+    if cell["ct"] == "json":
+        return cell["v"]
+    if cell["ct"] == "pkl":
+        try:
+            body = base64.b64decode(cell["v"], validate=True)
+        except (binascii.Error, TypeError, ValueError) as exc:
+            raise WireError(f"malformed base64 cell: {exc}") from exc
+        return decode_body(BINARY_CONTENT_TYPE, body, unpickle=unpickle)
+    raise WireError(f"unknown cell content type {cell['ct']!r}")
+
+
+def etag_of(body: bytes) -> str:
+    """Content-hash ETag (quoted, per RFC 9110) of an encoded body."""
+    return f'"{hashlib.sha256(body).hexdigest()}"'

@@ -1,0 +1,202 @@
+"""TieredBackend: read-through front, write-behind flushing, server traffic."""
+
+from __future__ import annotations
+
+import hashlib
+import time
+
+import pytest
+
+from repro.service import StoreServer
+from repro.store import (
+    MemoryBackend,
+    PickleDirBackend,
+    RemoteBackend,
+    StoreJanitor,
+    TieredBackend,
+)
+
+
+def hex_key(index: int) -> str:
+    return hashlib.sha256(str(index).encode()).hexdigest()
+
+
+@pytest.fixture()
+def server(tmp_path):
+    with StoreServer(PickleDirBackend(tmp_path / "store")) as live:
+        yield live
+
+
+# ----------------------------------------------------------------------
+# Over a local backend (deterministic, no HTTP)
+# ----------------------------------------------------------------------
+def test_write_behind_is_deferred_until_flush():
+    slow = MemoryBackend()
+    tier = TieredBackend(slow, auto_flush=False)
+    tier.put("ns", hex_key(1), {"v": 1})
+    assert tier.get("ns", hex_key(1)) == (True, {"v": 1})  # front serves it
+    assert not slow.contains("ns", hex_key(1))  # slow tier not written yet
+    assert tier.pending == 1
+
+    tier.flush()
+    assert tier.pending == 0
+    assert slow.get("ns", hex_key(1)) == (True, {"v": 1})
+    assert tier.flush_batches == 1 and tier.flushed_records == 1
+
+
+def test_read_through_populates_the_front():
+    slow = MemoryBackend()
+    slow.put("ns", hex_key(1), {"v": 1})
+    tier = TieredBackend(slow, auto_flush=False)
+
+    assert tier.get("ns", hex_key(1)) == (True, {"v": 1})
+    assert tier.front_misses == 1
+    slow_hits = slow.counters.hits
+    assert tier.get("ns", hex_key(1)) == (True, {"v": 1})
+    assert tier.front_hits == 1
+    assert slow.counters.hits == slow_hits  # second read never reached the slow tier
+
+
+def test_get_many_splits_front_hits_from_backend_fetches():
+    slow = MemoryBackend()
+    for index in range(4):
+        slow.put("ns", hex_key(index), {"v": index})
+    tier = TieredBackend(slow, auto_flush=False)
+    tier.put("ns", hex_key(9), {"v": 9})
+
+    keys = [hex_key(index) for index in (0, 1, 9, 42)]
+    found = tier.get_many("ns", keys)
+    assert found == {hex_key(0): {"v": 0}, hex_key(1): {"v": 1}, hex_key(9): {"v": 9}}
+    assert tier.front_hits == 1  # the pending write served from the front
+    # All four backend entries readable once the front is warm.
+    assert len(tier.get_many("ns", [hex_key(index) for index in range(4)])) == 4
+
+
+def test_bounded_queue_flushes_inline():
+    slow = MemoryBackend()
+    tier = TieredBackend(slow, auto_flush=False, max_queue=4, batch_size=2)
+    for index in range(6):
+        tier.put("ns", hex_key(index), {"v": index})
+    assert tier.inline_flushes >= 1
+    assert slow.stats().entries >= 1  # the overflow drained synchronously
+    tier.flush()
+    assert slow.stats().entries == 6
+
+
+def test_background_flusher_drains_without_explicit_flush():
+    slow = MemoryBackend()
+    tier = TieredBackend(slow, flush_interval=0.01)
+    for index in range(5):
+        tier.put("ns", hex_key(index), {"v": index})
+    deadline = time.time() + 5.0
+    while tier.pending and time.time() < deadline:
+        time.sleep(0.01)
+    assert tier.pending == 0
+    assert slow.stats().entries == 5
+    tier.close()
+
+
+def test_delete_cancels_pending_writes():
+    slow = MemoryBackend()
+    tier = TieredBackend(slow, auto_flush=False)
+    tier.put("ns", hex_key(1), {"v": 1})
+    assert tier.delete("ns", hex_key(1))
+    tier.flush()
+    assert not slow.contains("ns", hex_key(1)), "flush resurrected a deleted key"
+    assert not tier.contains("ns", hex_key(1))
+
+
+def test_close_drains_and_is_idempotent():
+    slow = MemoryBackend()
+    tier = TieredBackend(slow, flush_interval=60.0)  # flusher effectively idle
+    tier.put("ns", hex_key(1), {"v": 1})
+    tier.close()
+    assert slow.contains("ns", hex_key(1))
+    tier.close()
+
+
+def test_scan_and_compact_flush_first():
+    slow = MemoryBackend()
+    tier = TieredBackend(slow, auto_flush=False)
+    tier.put("ns", hex_key(1), {"v": 1})
+    assert {entry.key for entry in tier.scan()} == {hex_key(1)}
+    tier.put("ns", hex_key(2), {"v": 2})
+    report = tier.compact()
+    assert report.entries_kept == 2
+    assert tier.stats().backend == "tiered(memory)"
+    assert len(tier) == 2
+
+
+def test_flush_errors_are_counted_not_raised(server):
+    remote = RemoteBackend(server.url, strict=True)
+    tier = TieredBackend(remote, auto_flush=False)
+    tier.put("ns", hex_key(1), {"v": 1})
+    server.close()  # strict remote now raises on flush
+    tier.flush()
+    assert tier.flush_errors == 1
+    assert tier.pending == 0  # the batch is dropped, not retried forever
+    remote.close()
+
+
+# ----------------------------------------------------------------------
+# Over a live store service
+# ----------------------------------------------------------------------
+def test_repeat_reads_never_recontact_the_server(server):
+    """The acceptance criterion: request counters prove front-only reads."""
+    seed = RemoteBackend(server.url, strict=True)
+    seed.put("stage", hex_key(1), {"v": 1})
+    seed.close()
+
+    tier = TieredBackend(RemoteBackend(server.url, strict=True), auto_flush=False)
+    assert tier.get("stage", hex_key(1)) == (True, {"v": 1})  # one server GET
+    requests_after_first = dict(server.service.requests)
+    for _ in range(5):
+        assert tier.get("stage", hex_key(1)) == (True, {"v": 1})
+    assert server.service.requests == requests_after_first
+    assert tier.front_hits == 5
+    tier.close()
+
+
+def test_tiered_janitor_flushes_then_sweeps_remotely(server):
+    tier = TieredBackend(RemoteBackend(server.url, strict=True), auto_flush=False)
+    for index in range(3):
+        tier.put("ns", hex_key(index), {"v": index})
+    report = StoreJanitor(tier, max_age_seconds=0.0).sweep()
+    assert report.scanned == 3  # pending writes reached the server first
+    assert report.evicted == 3
+    tier.close()
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError, match="max_queue"):
+        TieredBackend(MemoryBackend(), max_queue=0)
+    with pytest.raises(ValueError, match="batch_size"):
+        TieredBackend(MemoryBackend(), batch_size=0)
+
+
+def test_delete_waits_out_an_in_flight_flush_batch():
+    """A batch the flusher already took must not resurrect a deleted key."""
+    import threading
+
+    class GatedBackend(MemoryBackend):
+        def __init__(self):
+            super().__init__()
+            self.gate = threading.Event()
+
+        def put_many(self, namespace, records):
+            self.gate.wait(timeout=5.0)
+            return super().put_many(namespace, records)
+
+    slow = GatedBackend()
+    tier = TieredBackend(slow, flush_interval=0.005)
+    tier.put("ns", hex_key(1), {"v": 1})
+    deadline = time.time() + 5.0
+    while tier._in_flight == 0 and time.time() < deadline:
+        time.sleep(0.002)  # wait for the flusher to take the batch
+    assert tier._in_flight == 1
+
+    threading.Timer(0.1, slow.gate.set).start()
+    assert tier.delete("ns", hex_key(1))  # must block past the in-flight write
+    assert not slow.contains("ns", hex_key(1)), "in-flight flush resurrected the key"
+    assert not tier.contains("ns", hex_key(1))
+    tier.close()

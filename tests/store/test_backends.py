@@ -382,3 +382,85 @@ class TestPickleDir:
         report = StoreJanitor(sharded, max_age_seconds=500.0).sweep(compact=False)
         assert report.evicted == 0  # the stale flat copy must not doom the key
         assert sharded.contains("stage", hex_key(1))
+
+
+# ----------------------------------------------------------------------
+# Batch protocol methods (get_many / put_many)
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("kind", BACKEND_KINDS)
+class TestBatchMethods:
+    def test_put_many_then_get_many(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path, num_shards=4)
+        records = {hex_key(index): {"v": index} for index in range(20)}
+        stored = backend.put_many("ns", records)
+        assert stored == len(records)
+
+        found = backend.get_many("ns", list(records) + [hex_key(99)])
+        assert set(found) == set(records)
+        for key, value in records.items():
+            assert {name: found[key][name] for name in value} == value
+        assert backend.get_many("ns", []) == {}
+
+    def test_put_many_skips_existing_keys(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path, num_shards=2)
+        records = {hex_key(index): {"v": index} for index in range(5)}
+        backend.put_many("ns", records)
+        stores_before = backend.counters.stores
+        assert backend.put_many("ns", records) == 0
+        assert backend.counters.stores == stores_before
+
+    def test_get_many_counts_hits_and_misses(self, kind, tmp_path):
+        backend = make_backend(kind, tmp_path)
+        backend.put_many("ns", {hex_key(1): {"v": 1}})
+        backend.get_many("ns", [hex_key(1), hex_key(2), hex_key(3)])
+        assert backend.counters.hits == 1
+        assert backend.counters.misses == 2
+
+    def test_get_many_refreshes_gc_ages(self, kind, tmp_path):
+        """A batch read protects its keys from eviction like a get does."""
+        from repro.store import StoreJanitor
+
+        clock = FakeClock()
+        backend = make_backend(kind, tmp_path, clock=clock, num_shards=2)
+        backend.put_many("ns", {hex_key(index): {"v": index} for index in range(4)})
+        clock.advance(1000.0)
+        backend.get_many("ns", [hex_key(0), hex_key(1)])
+
+        StoreJanitor(backend, max_age_seconds=500.0).sweep()
+        assert backend.contains("ns", hex_key(0))
+        assert backend.contains("ns", hex_key(1))
+        assert not backend.contains("ns", hex_key(2))
+        assert not backend.contains("ns", hex_key(3))
+
+
+def test_jsonl_put_many_appends_one_batch_per_shard(tmp_path):
+    """The sharded override groups lines by shard and survives a reopen."""
+    backend = make_backend("jsonl", tmp_path, num_shards=4)
+    records = {hex_key(index): {"v": index} for index in range(40)}
+    backend.put_many("ns", records)
+
+    shards_touched = [
+        shard
+        for shard in range(4)
+        if backend.shard_path(shard).exists()
+    ]
+    assert len(shards_touched) > 1  # a 40-key batch spreads over shards
+
+    reopened = make_backend("jsonl", tmp_path, num_shards=4)
+    assert reopened.corrupt_lines == 0
+    assert len(reopened) == 40
+    for key, value in records.items():
+        hit, record = reopened.get("ns", key)
+        assert hit and record["v"] == value["v"]
+
+
+def test_jsonl_put_many_rejects_the_whole_batch_on_a_bad_value(tmp_path):
+    """A domain error must not leave earlier records admitted in memory
+    but never appended to disk."""
+    backend = make_backend("jsonl", tmp_path, num_shards=2)
+    with pytest.raises(TypeError):
+        backend.put_many("ns", {hex_key(1): {"v": 1}, hex_key(2): [1, 2]})
+    assert not backend.contains("ns", hex_key(1))
+    assert backend.counters.stores == 0
+    reopened = make_backend("jsonl", tmp_path, num_shards=2)
+    assert len(reopened) == 0
