@@ -56,15 +56,34 @@ invocation is served almost entirely from the cache.
 
 from repro.engine.artifacts import ArtifactStore, ArtifactStoreStats
 from repro.engine.cache import CacheStats, EvaluationCache
+from repro.engine.checkpoint import (
+    CampaignCheckpoint,
+    SuiteCheckpoint,
+    campaign_fingerprint,
+)
 from repro.engine.executor import (
     BACKENDS,
     EngineExplorationOutcome,
     EngineRunStats,
     EvaluationEngine,
     ExecutorConfig,
+    WaveObserver,
+    WaveOutcome,
+    WaveResult,
     run_exploration,
 )
 from repro.engine.frontier import ParetoFrontier, pareto_front_indices
+from repro.engine.stream import (
+    EVENT_TYPES,
+    AsyncPrefetcher,
+    CampaignEvent,
+    CampaignStreamController,
+    EventLog,
+    StreamReplay,
+    deterministic_report_payload,
+    replay_events,
+    write_stream_report,
+)
 from repro.engine.jobs import (
     SUITE_NAMES,
     CampaignSpec,
@@ -78,26 +97,41 @@ from repro.store import StoreJanitor, StoreStats
 
 __all__ = [
     "BACKENDS",
+    "EVENT_TYPES",
     "SUITE_NAMES",
     "ArtifactStore",
     "ArtifactStoreStats",
+    "AsyncPrefetcher",
     "CacheStats",
+    "CampaignCheckpoint",
+    "CampaignEvent",
     "CampaignReport",
     "CampaignRunner",
     "CampaignSpec",
+    "CampaignStreamController",
     "EngineExplorationOutcome",
     "EngineRunStats",
     "EvaluationCache",
     "EvaluationEngine",
     "EvaluationJob",
+    "EventLog",
     "ExecutorConfig",
     "ParetoFrontier",
     "StoreJanitor",
     "StoreStats",
+    "StreamReplay",
+    "SuiteCheckpoint",
     "SuiteReport",
+    "WaveObserver",
+    "WaveOutcome",
+    "WaveResult",
+    "campaign_fingerprint",
+    "deterministic_report_payload",
     "evaluation_context_hash",
     "hash_payload",
     "pareto_front_indices",
+    "replay_events",
     "run_exploration",
     "suite_kernels",
+    "write_stream_report",
 ]

@@ -25,6 +25,7 @@ from typing import List, Optional
 from repro.core.exploration import ExplorationConstraints
 from repro.engine.jobs import SUITE_NAMES, CampaignSpec
 from repro.engine.runner import SUMMARY_HEADERS, CampaignRunner
+from repro.engine.stream import write_stream_report
 from repro.errors import ReproError
 from repro.utils.serialization import to_json
 from repro.utils.tabulate import format_table
@@ -154,6 +155,24 @@ def build_parser() -> argparse.ArgumentParser:
         "requires --store-url",
     )
     parser.add_argument(
+        "--stream",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="streaming mode: append wave-level events to DIR/events.jsonl, "
+        "checkpoint after every wave (crash-atomic), prefetch the next "
+        "wave's cache lookups and the next suite's artifacts in the "
+        "background, and write --output as the canonical deterministic "
+        "report (byte-identical across interrupted-and-resumed runs)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint inside --stream DIR: completed "
+        "jobs are served from it, only unfinished work is re-enqueued "
+        "(no checkpoint on disk simply starts fresh)",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="write the JSON campaign report here"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress the summary table")
@@ -178,7 +197,7 @@ def _store_summary(report) -> str:
         line += (
             f"  remote: {remote.get('requests', 0)} requests / "
             f"{remote.get('transport_retries', 0)} retries / "
-            f"{remote.get('dropped_puts', 0)} dropped"
+            f"{stats.get('dropped_writes', 0)} dropped writes"
         )
         tier = stats.get("tier")
         if tier is not None:
@@ -224,6 +243,8 @@ def _run(args: argparse.Namespace) -> int:
         raise ReproError(
             "--store-url replaces the local stores; drop --no-cache/--no-artifact-cache"
         )
+    if args.resume and args.stream is None:
+        raise ReproError("--resume replays a stream directory; it requires --stream DIR")
     spec = CampaignSpec(
         name=args.name,
         suites=tuple(args.suites or ("paper",)),
@@ -254,6 +275,8 @@ def _run(args: argparse.Namespace) -> int:
         compact=args.compact,
         store_url=args.store_url,
         store_tier=args.store_tier,
+        stream_dir=args.stream,
+        resume=args.resume,
     )
     try:
         report, _ = runner.run()
@@ -285,18 +308,31 @@ def _run(args: argparse.Namespace) -> int:
             + (f"  [{stage_summary}]" if stage_summary else "")
         )
         print(_store_summary(report))
+        if runner.stream_summary is not None:
+            facts = runner.stream_summary
+            print(
+                f"stream: {facts['directory']}  events: {facts['events']}  "
+                f"waves: {facts['waves']}  checkpoint: {facts['records']} records / "
+                f"{facts['checkpoint_hits']} served  resumed={facts['resumed']}"
+            )
 
     if args.output is not None:
-        payload = {
-            "report": report,
-            "cache_hit_rate": report.cache_hit_rate,
-            "suite_selections": {
-                suite.suite: {"selected": suite.selected, "kind": suite.selected_kind}
-                for suite in report.suites
-            },
-        }
         args.output.parent.mkdir(parents=True, exist_ok=True)
-        args.output.write_text(to_json(payload) + "\n", encoding="utf-8")
+        if args.stream is not None:
+            # Streaming mode writes the canonical deterministic report:
+            # an interrupted-and-resumed campaign produces byte-identical
+            # output; the live trajectory lives in the event log.
+            write_stream_report(args.output, report)
+        else:
+            payload = {
+                "report": report,
+                "cache_hit_rate": report.cache_hit_rate,
+                "suite_selections": {
+                    suite.suite: {"selected": suite.selected, "kind": suite.selected_kind}
+                    for suite in report.suites
+                },
+            }
+            args.output.write_text(to_json(payload) + "\n", encoding="utf-8")
         if not args.quiet:
             print(f"report written to {args.output}")
     return 0

@@ -85,6 +85,54 @@ def _valid_record(record: dict) -> bool:
     return True
 
 
+def evaluation_record(evaluation: DesignPointEvaluation) -> dict:
+    """The flat JSON record of one evaluation (the cache's line format).
+
+    Shared with the campaign checkpoint (:mod:`repro.engine.checkpoint`),
+    so a checkpointed result and a cached one are the same bytes.
+    """
+    return {
+        "label": evaluation.architecture.name,
+        "area_slices": evaluation.area_slices,
+        "critical_path_ns": evaluation.critical_path_ns,
+        "stalls": {
+            kernel: {
+                "rs_stalls": estimate.rs_stalls,
+                "rp_stalls": estimate.rp_stalls,
+                "base_cycles": estimate.base_cycles,
+            }
+            for kernel, estimate in evaluation.stall_estimates.items()
+        },
+    }
+
+
+def rehydrate_evaluation(record: dict, job: EvaluationJob, array) -> DesignPointEvaluation:
+    """Rebuild a :class:`DesignPointEvaluation` from its flat JSON record.
+
+    The architecture is reconstructed from the job's parameters (cheap and
+    deterministic); only the derived numbers come from the record, so a
+    rehydrated evaluation is numerically identical to the computed one.
+    """
+    architecture = job.parameters.to_architecture(array, name=job.name)
+    stall_estimates = {
+        kernel: StallEstimate(
+            kernel=kernel,
+            architecture=architecture.name,
+            rs_stalls=int(entry["rs_stalls"]),
+            rp_stalls=int(entry["rp_stalls"]),
+            base_cycles=int(entry["base_cycles"]),
+        )
+        for kernel, entry in record["stalls"].items()
+    }
+    return DesignPointEvaluation(
+        parameters=job.parameters,
+        architecture=architecture,
+        area_slices=float(record["area_slices"]),
+        critical_path_ns=float(record["critical_path_ns"]),
+        stall_estimates=stall_estimates,
+    )
+
+
 class EvaluationCache:
     """A keyed store of completed design-point evaluations.
 
@@ -172,21 +220,7 @@ class EvaluationCache:
     # ------------------------------------------------------------------
     # Store / lookup
     # ------------------------------------------------------------------
-    @staticmethod
-    def _record_of(evaluation: DesignPointEvaluation) -> dict:
-        return {
-            "label": evaluation.architecture.name,
-            "area_slices": evaluation.area_slices,
-            "critical_path_ns": evaluation.critical_path_ns,
-            "stalls": {
-                kernel: {
-                    "rs_stalls": estimate.rs_stalls,
-                    "rp_stalls": estimate.rp_stalls,
-                    "base_cycles": estimate.base_cycles,
-                }
-                for kernel, estimate in evaluation.stall_estimates.items()
-            },
-        }
+    _record_of = staticmethod(evaluation_record)
 
     def put(self, key: str, evaluation: DesignPointEvaluation) -> None:
         """Record ``evaluation`` under ``key`` and append it to its shard."""
@@ -231,6 +265,10 @@ class EvaluationCache:
         ]
         if not wanted:
             return 0
+        # get_many, not the backend's quiet prefetch: a wave's batched
+        # lookup is a real read the campaign asked for (merely issued
+        # early), so tier/backend hit counters must see it — the quiet
+        # pathway is reserved for advisory warm-ups (ArtifactStore.prefetch).
         found = {
             key: record
             for key, record in self.backend.get_many(self.namespace, wanted).items()
@@ -257,24 +295,7 @@ class EvaluationCache:
                 return None
             self._front[key] = record
         self.stats.hits += 1
-        architecture = job.parameters.to_architecture(array, name=job.name)
-        stall_estimates = {
-            kernel: StallEstimate(
-                kernel=kernel,
-                architecture=architecture.name,
-                rs_stalls=int(entry["rs_stalls"]),
-                rp_stalls=int(entry["rp_stalls"]),
-                base_cycles=int(entry["base_cycles"]),
-            )
-            for kernel, entry in record["stalls"].items()
-        }
-        return DesignPointEvaluation(
-            parameters=job.parameters,
-            architecture=architecture,
-            area_slices=float(record["area_slices"]),
-            critical_path_ns=float(record["critical_path_ns"]),
-            stall_estimates=stall_estimates,
-        )
+        return rehydrate_evaluation(record, job, array)
 
     # ------------------------------------------------------------------
     # Maintenance

@@ -1,0 +1,210 @@
+"""Campaign checkpoints: crash-safe wave-granular resume state.
+
+A streaming campaign (:mod:`repro.engine.stream`) snapshots its progress
+after every completed wave: the evaluation records of every finished job
+(the same flat JSON format the evaluation cache persists, see
+:func:`repro.engine.cache.evaluation_record`), the incremental Pareto
+frontier of the feasible points seen so far, and per-suite wave counters.
+The snapshot is one JSON document written with the same write-then-rename
+discipline as the store layer, so a SIGKILL at any instant leaves either
+the previous checkpoint or the new one — never a torn file.
+
+On resume (:class:`~repro.engine.runner.CampaignRunner` with
+``resume=True``) the checkpoint's records are handed back to the engine
+as *completed* jobs: they are never re-enqueued, the frontier is rebuilt
+from them deterministically, and the campaign converges to the exact
+report an uninterrupted run would have produced.
+
+Checkpoints are guarded by a *fingerprint* — a content hash over the
+campaign spec — so a checkpoint can never silently resume a different
+campaign (grid, suites, constraints or executor changed: the fingerprint
+changes, the resume is refused).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.engine.jobs import CampaignSpec
+from repro.errors import ExplorationError
+from repro.utils.serialization import content_hash
+
+#: Format marker written into every checkpoint document.
+CHECKPOINT_VERSION = 1
+
+#: Default checkpoint file name inside a stream directory.
+CHECKPOINT_FILENAME = "checkpoint.json"
+
+
+def campaign_fingerprint(spec: CampaignSpec) -> str:
+    """Content hash identifying a campaign for checkpoint compatibility."""
+    return content_hash({"campaign_spec": spec})
+
+
+@dataclass
+class SuiteCheckpoint:
+    """Resume state of one suite within a campaign."""
+
+    suite: str
+    #: Completed evaluations: job content hash -> flat evaluation record.
+    records: Dict[str, dict] = field(default_factory=dict)
+    #: Job content hashes skipped by the dominance early-reject filter.
+    rejected: List[str] = field(default_factory=list)
+    #: Snapshot of the feasible-point Pareto frontier (objective vectors).
+    frontier: List[List[float]] = field(default_factory=list)
+    #: Waves this suite has fully completed (live waves, checkpoint
+    #: replays excluded) across all runs that contributed to the state.
+    waves_done: int = 0
+    #: True once the suite's exploration finished end to end.
+    complete: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "suite": self.suite,
+            "records": self.records,
+            "rejected": list(self.rejected),
+            "frontier": [list(vector) for vector in self.frontier],
+            "waves_done": self.waves_done,
+            "complete": self.complete,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SuiteCheckpoint":
+        return cls(
+            suite=str(payload["suite"]),
+            records=dict(payload.get("records", {})),
+            rejected=[str(key) for key in payload.get("rejected", [])],
+            frontier=[list(vector) for vector in payload.get("frontier", [])],
+            waves_done=int(payload.get("waves_done", 0)),
+            complete=bool(payload.get("complete", False)),
+        )
+
+
+@dataclass
+class CampaignCheckpoint:
+    """The resumable state of one streaming campaign."""
+
+    fingerprint: str
+    suites: Dict[str, SuiteCheckpoint] = field(default_factory=dict)
+    version: int = CHECKPOINT_VERSION
+    #: Serialisation cache: suite name -> (change marker, JSON fragment).
+    #: A suite that has not changed since the last save (every already
+    #: completed suite, in particular) reuses its serialised form, so the
+    #: per-wave checkpoint cost tracks the *active* suite instead of the
+    #: whole campaign history.
+    _fragments: Dict[str, Tuple[Tuple[int, int, bool, int, int], str]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
+
+    def suite(self, name: str) -> SuiteCheckpoint:
+        """The (created-on-demand) checkpoint of one suite."""
+        if name not in self.suites:
+            self.suites[name] = SuiteCheckpoint(suite=name)
+        return self.suites[name]
+
+    @property
+    def total_records(self) -> int:
+        return sum(len(suite.records) for suite in self.suites.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "version": self.version,
+            "fingerprint": self.fingerprint,
+            "suites": {name: suite.as_dict() for name, suite in self.suites.items()},
+        }
+
+    def _suite_fragment(self, name: str) -> str:
+        """The suite's JSON fragment, re-serialised only when it changed.
+
+        The marker covers every mutation path of a :class:`SuiteCheckpoint`
+        (records only ever grow, ``waves_done`` bumps every wave,
+        ``complete`` flips once); completed suites therefore serialise
+        exactly once more after finishing, however many waves the rest of
+        the campaign still runs.
+        """
+        suite = self.suites[name]
+        marker = (
+            len(suite.records),
+            suite.waves_done,
+            suite.complete,
+            len(suite.rejected),
+            len(suite.frontier),
+        )
+        cached = self._fragments.get(name)
+        if cached is None or cached[0] != marker:
+            cached = (
+                marker,
+                json.dumps(suite.as_dict(), sort_keys=True, separators=(",", ":")),
+            )
+            self._fragments[name] = cached
+        return cached[1]
+
+    def _document_text(self) -> str:
+        """The canonical document — byte-identical to ``json.dumps`` of
+        :meth:`as_dict` with sorted keys and compact separators."""
+        fragments = ",".join(
+            f"{json.dumps(name)}:{self._suite_fragment(name)}"
+            for name in sorted(self.suites)
+        )
+        return (
+            f'{{"fingerprint":{json.dumps(self.fingerprint)},'
+            f'"suites":{{{fragments}}},'
+            f'"version":{self.version}}}'
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (write-then-rename, same discipline as the store layer)
+    # ------------------------------------------------------------------
+    def save(self, path: Union[str, Path]) -> None:
+        """Atomically replace ``path`` with this checkpoint."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        scratch = path.with_name(path.name + f".tmp.{os.getpid()}")
+        scratch.write_text(self._document_text() + "\n", encoding="utf-8")
+        os.replace(scratch, path)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> Optional["CampaignCheckpoint"]:
+        """The checkpoint stored at ``path``, or ``None`` when absent/unreadable.
+
+        A checkpoint that fails to parse is treated as absent (resume then
+        starts fresh — losing progress, never correctness); a parseable
+        checkpoint of an unknown version is refused loudly, because its
+        records could rehydrate incorrectly.
+        """
+        path = Path(path)
+        if not path.is_file():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or "fingerprint" not in payload:
+            return None
+        version = int(payload.get("version", 0))
+        if version != CHECKPOINT_VERSION:
+            raise ExplorationError(
+                f"checkpoint {path} has version {version}; "
+                f"this build reads version {CHECKPOINT_VERSION}"
+            )
+        return cls(
+            fingerprint=str(payload["fingerprint"]),
+            suites={
+                name: SuiteCheckpoint.from_dict(suite)
+                for name, suite in payload.get("suites", {}).items()
+            },
+            version=version,
+        )
+
+    def require_fingerprint(self, fingerprint: str, path: Union[str, Path]) -> None:
+        """Refuse to resume a checkpoint written by a different campaign."""
+        if self.fingerprint != fingerprint:
+            raise ExplorationError(
+                f"checkpoint {path} belongs to a different campaign "
+                f"(fingerprint {self.fingerprint[:16]} != {fingerprint[:16]}); "
+                "pass a fresh stream directory or rerun without --resume"
+            )

@@ -25,10 +25,12 @@ dominated, can never join the Pareto front, and is skipped outright.
 from __future__ import annotations
 
 import time
-from collections import deque
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.engine.stream import AsyncPrefetcher
 
 from repro.core.exploration import (
     DesignPointEvaluation,
@@ -39,7 +41,7 @@ from repro.core.exploration import (
 )
 from repro.core.pareto import knee_point, pareto_front
 from repro.core.rsp_params import RSPParameters, base_parameters, enumerate_design_space
-from repro.engine.cache import EvaluationCache
+from repro.engine.cache import EvaluationCache, rehydrate_evaluation
 from repro.engine.frontier import ParetoFrontier
 from repro.engine.jobs import EvaluationJob, evaluation_context_hash
 from repro.errors import ExplorationError
@@ -95,12 +97,67 @@ class EngineRunStats:
     cache_hits: int = 0
     cache_misses: int = 0
     early_rejected: int = 0
+    #: Jobs served from a campaign checkpoint instead of being enqueued.
+    checkpoint_hits: int = 0
+    #: Waves actually dispatched (checkpoint-served jobs never form waves).
+    waves: int = 0
     wall_seconds: float = 0.0
 
     @property
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+
+# ----------------------------------------------------------------------
+# Wave observation (the streaming mode's window into the engine)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaveResult:
+    """One job completed during a wave, however it was obtained."""
+
+    index: int
+    key: str
+    label: str
+    evaluation: DesignPointEvaluation
+    #: ``"computed"`` (evaluated this wave) or ``"cache"`` (persistent
+    #: cache hit discovered while assembling the wave).
+    source: str
+    #: Feasibility against the run's base point; ``None`` when the run
+    #: carries no base evaluation (bare ``evaluate_jobs`` calls).
+    feasible: Optional[bool] = None
+
+
+@dataclass(frozen=True)
+class WaveOutcome:
+    """Everything one wave produced, in dispatch order."""
+
+    wave_index: int
+    results: Tuple[WaveResult, ...]
+    #: ``(index, key)`` of the candidates the early-reject filter skipped.
+    rejected: Tuple[Tuple[int, str], ...] = ()
+
+
+class WaveObserver:
+    """No-op base class for wave-level observers (subclass what you need).
+
+    The engine calls :meth:`wave_started` immediately before dispatching a
+    wave and :meth:`wave_finished` after its results (including cache hits
+    discovered while assembling it) are in.  :meth:`base_evaluated` fires
+    once per exploration for the up-front base-point job, which never
+    travels through a wave.
+    """
+
+    def wave_started(self, wave_index: int, job_count: int) -> None:  # pragma: no cover
+        pass
+
+    def wave_finished(self, outcome: WaveOutcome) -> None:  # pragma: no cover
+        pass
+
+    def base_evaluated(
+        self, key: str, evaluation: DesignPointEvaluation, source: str, feasible: bool
+    ) -> None:  # pragma: no cover
+        pass
 
 
 @dataclass
@@ -198,6 +255,9 @@ class EvaluationEngine:
         lower_bound_cycles: int = 0,
         base_evaluation: Optional[DesignPointEvaluation] = None,
         constraints: Optional[ExplorationConstraints] = None,
+        completed: Optional[Mapping[int, DesignPointEvaluation]] = None,
+        observer: Optional[WaveObserver] = None,
+        prefetcher: Optional["AsyncPrefetcher"] = None,
     ) -> Tuple[Dict[int, DesignPointEvaluation], List[int]]:
         """Evaluate ``jobs``; returns (index → evaluation, rejected indices).
 
@@ -205,14 +265,55 @@ class EvaluationEngine:
         lower bound is already strictly beaten by a completed feasible
         point at no larger area are skipped before stall estimation, and
         feasible results are streamed into the frontier as waves finish.
+
+        ``completed`` maps job indices to results obtained elsewhere (a
+        campaign checkpoint): those jobs never form waves, are counted in
+        ``stats.checkpoint_hits`` and feed the reject frontier exactly as
+        cache hits do.  ``observer`` receives wave-level callbacks (see
+        :class:`WaveObserver`).  ``prefetcher`` overlaps the next wave's
+        batched cache lookup with the current wave's evaluation: while
+        wave N computes, the background thread already issues wave N+1's
+        ``mget``, so remote round trips hide behind compute instead of
+        serialising with it.
         """
         results: Dict[int, DesignPointEvaluation] = {}
         rejected: List[int] = []
-        pending = deque(_chunked(list(range(len(jobs))), self.config.chunk_size))
+        effective_constraints = constraints or ExplorationConstraints()
+
+        def feasibility(evaluation: DesignPointEvaluation) -> Optional[bool]:
+            if base_evaluation is None:
+                return None
+            return is_feasible(evaluation, base_evaluation, effective_constraints)
+
+        def frontier_add(evaluation: DesignPointEvaluation, feasible: Optional[bool]) -> None:
+            if reject_frontier is not None and feasible:
+                reject_frontier.add(
+                    (evaluation.area_slices, evaluation.total_execution_time_ns)
+                )
+
+        pending_indices: List[int] = []
+        for index in range(len(jobs)):
+            if completed is not None and index in completed:
+                evaluation = completed[index]
+                results[index] = evaluation
+                stats.checkpoint_hits += 1
+                frontier_add(evaluation, feasibility(evaluation))
+            else:
+                pending_indices.append(index)
+
         backend = self.config.resolved_backend
         wave_width = self.config.workers if backend != "serial" else 1
+        waves = _chunked(_chunked(pending_indices, self.config.chunk_size), wave_width)
+
+        def wave_keys(wave: List[List[int]]) -> List[str]:
+            return [
+                jobs[index].content_hash(self.context_hash)
+                for chunk in wave
+                for index in chunk
+            ]
 
         pool = None
+        prefetched = None
         try:
             if backend == "thread":
                 pool = ThreadPoolExecutor(max_workers=self.config.workers)
@@ -222,17 +323,35 @@ class EvaluationEngine:
                     initializer=_init_worker,
                     initargs=(self.explorer,),
                 )
-            while pending:
-                wave = [pending.popleft() for _ in range(min(wave_width, len(pending)))]
+            if self.cache is not None and prefetcher is not None and waves:
+                prefetched = prefetcher.submit(
+                    lambda keys=wave_keys(waves[0]): self.cache.prefetch(keys)
+                )
+            for wave_index, wave in enumerate(waves):
                 if self.cache is not None:
                     # One batched lookup per wave: over a remote store this
                     # is a single mget round trip; the per-key gets below
                     # are then answered from the cache's in-process front.
-                    self.cache.prefetch(
-                        jobs[index].content_hash(self.context_hash)
-                        for chunk in wave
-                        for index in chunk
+                    if prefetcher is not None:
+                        if prefetched is not None:
+                            prefetched.wait()
+                        if wave_index + 1 < len(waves):
+                            # Kick the next wave's round trip off *before*
+                            # this wave evaluates — that is the overlap.
+                            prefetched = prefetcher.submit(
+                                lambda keys=wave_keys(waves[wave_index + 1]):
+                                    self.cache.prefetch(keys)
+                            )
+                        else:
+                            prefetched = None
+                    else:
+                        self.cache.prefetch(wave_keys(wave))
+                if observer is not None:
+                    observer.wave_started(
+                        wave_index, sum(len(chunk) for chunk in wave)
                     )
+                wave_events: List[WaveResult] = []
+                wave_rejected: List[Tuple[int, str]] = []
                 dispatch: List[List[int]] = []
                 for chunk in wave:
                     misses: List[int] = []
@@ -244,17 +363,18 @@ class EvaluationEngine:
                             if cached is not None:
                                 stats.cache_hits += 1
                                 results[index] = cached
-                                if (
-                                    reject_frontier is not None
-                                    and base_evaluation is not None
-                                    and is_feasible(
-                                        cached,
-                                        base_evaluation,
-                                        constraints or ExplorationConstraints(),
-                                    )
-                                ):
-                                    reject_frontier.add(
-                                        (cached.area_slices, cached.total_execution_time_ns)
+                                feasible = feasibility(cached)
+                                frontier_add(cached, feasible)
+                                if observer is not None:
+                                    wave_events.append(
+                                        WaveResult(
+                                            index=index,
+                                            key=key,
+                                            label=job.label,
+                                            evaluation=cached,
+                                            source="cache",
+                                            feasible=feasible,
+                                        )
                                     )
                                 continue
                             stats.cache_misses += 1
@@ -263,6 +383,10 @@ class EvaluationEngine:
                         ):
                             stats.early_rejected += 1
                             rejected.append(index)
+                            if observer is not None:
+                                wave_rejected.append(
+                                    (index, job.content_hash(self.context_hash))
+                                )
                             continue
                         misses.append(index)
                     if misses:
@@ -295,20 +419,39 @@ class EvaluationEngine:
                     for index, evaluation in zip(chunk, evaluations):
                         results[index] = evaluation
                         stats.evaluated += 1
-                        if self.cache is not None:
-                            fresh[jobs[index].content_hash(self.context_hash)] = evaluation
+                        feasible = feasibility(evaluation)
+                        frontier_add(evaluation, feasible)
+                        if self.cache is not None or observer is not None:
+                            key = jobs[index].content_hash(self.context_hash)
+                            if self.cache is not None:
+                                fresh[key] = evaluation
+                            if observer is not None:
+                                wave_events.append(
+                                    WaveResult(
+                                        index=index,
+                                        key=key,
+                                        label=jobs[index].label,
+                                        evaluation=evaluation,
+                                        source="computed",
+                                        feasible=feasible,
+                                    )
+                                )
                 if self.cache is not None and fresh:
                     # One batched store per wave (a single mput remotely).
                     self.cache.put_many(fresh)
-
-                if reject_frontier is not None and base_evaluation is not None:
-                    for chunk, evaluations in zip(dispatch, wave_results):
-                        for evaluation in evaluations:
-                            if is_feasible(evaluation, base_evaluation, constraints or ExplorationConstraints()):
-                                reject_frontier.add(
-                                    (evaluation.area_slices, evaluation.total_execution_time_ns)
-                                )
+                stats.waves += 1
+                if observer is not None:
+                    wave_events.sort(key=lambda event: event.index)
+                    observer.wave_finished(
+                        WaveOutcome(
+                            wave_index=wave_index,
+                            results=tuple(wave_events),
+                            rejected=tuple(wave_rejected),
+                        )
+                    )
         finally:
+            if prefetched is not None:
+                prefetched.wait()
             if pool is not None:
                 pool.shutdown()
         return results, rejected
@@ -353,6 +496,9 @@ def run_exploration(
     config: Optional[ExecutorConfig] = None,
     cache: Optional[EvaluationCache] = None,
     early_reject: bool = False,
+    completed_records: Optional[Mapping[str, dict]] = None,
+    observer: Optional[WaveObserver] = None,
+    prefetcher: Optional["AsyncPrefetcher"] = None,
 ) -> EngineExplorationOutcome:
     """Run a full exploration through the engine.
 
@@ -363,6 +509,13 @@ def run_exploration(
     ``early_reject`` on, provably dominated candidates are skipped; the
     front and the selected design are unchanged, but the ``evaluated`` and
     ``feasible`` lists omit the rejected points (returned separately).
+
+    ``completed_records`` maps job content hashes to flat evaluation
+    records (a campaign checkpoint's state): matching jobs are rehydrated
+    instead of enqueued, so a resumed campaign converges to the identical
+    result without re-evaluating finished work.  ``observer`` and
+    ``prefetcher`` are the streaming mode's hooks (see
+    :meth:`EvaluationEngine.evaluate_jobs`).
     """
     started = time.perf_counter()
     constraints = constraints or ExplorationConstraints()
@@ -377,9 +530,25 @@ def run_exploration(
 
     # The base point is evaluated exactly once, up front: it anchors the
     # feasibility constraints and stands in for any "base" candidates.
-    base_evaluation = engine.evaluate_job(
-        EvaluationJob(parameters=base_parameters(), name="Base"), stats
-    )
+    base_job = EvaluationJob(parameters=base_parameters(), name="Base")
+    base_key = base_job.content_hash(engine.context_hash)
+    if completed_records is not None and base_key in completed_records:
+        base_evaluation = rehydrate_evaluation(
+            completed_records[base_key], base_job, explorer.array
+        )
+        stats.checkpoint_hits += 1
+        base_source = "checkpoint"
+    else:
+        hits_before = stats.cache_hits
+        base_evaluation = engine.evaluate_job(base_job, stats)
+        base_source = "cache" if stats.cache_hits > hits_before else "computed"
+    if observer is not None:
+        observer.base_evaluated(
+            base_key,
+            base_evaluation,
+            base_source,
+            is_feasible(base_evaluation, base_evaluation, constraints),
+        )
 
     job_indices: List[int] = []
     jobs: List[EvaluationJob] = []
@@ -391,6 +560,14 @@ def run_exploration(
     # Distinct evaluation jobs: the non-base candidates plus the single
     # base evaluation ("base" entries in the candidate list reuse it).
     stats.total_jobs = len(jobs) + 1
+
+    completed: Optional[Dict[int, DesignPointEvaluation]] = None
+    if completed_records is not None:
+        completed = {}
+        for local_index, job in enumerate(jobs):
+            record = completed_records.get(job.content_hash(engine.context_hash))
+            if record is not None:
+                completed[local_index] = rehydrate_evaluation(record, job, explorer.array)
 
     reject_frontier: Optional[ParetoFrontier] = None
     lower_bound_cycles = 0
@@ -409,6 +586,9 @@ def run_exploration(
         lower_bound_cycles=lower_bound_cycles,
         base_evaluation=base_evaluation,
         constraints=constraints,
+        completed=completed,
+        observer=observer,
+        prefetcher=prefetcher,
     )
 
     by_candidate: Dict[int, DesignPointEvaluation] = {}

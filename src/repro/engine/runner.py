@@ -21,6 +21,7 @@ and is what ``python -m repro.engine`` writes to disk.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -42,6 +43,7 @@ from repro.engine.executor import (
     run_exploration,
 )
 from repro.engine.jobs import CampaignSpec, evaluation_context_hash, suite_kernels
+from repro.engine.stream import AsyncPrefetcher, CampaignStreamController
 from repro.ir.loops import Kernel
 from repro.mapping.mapper import RSPMapper
 from repro.mapping.pipeline import stage_timings_as_dict
@@ -199,6 +201,18 @@ class CampaignRunner:
         write-behind :class:`~repro.store.TieredBackend`: repeat reads
         never re-contact the server and writes batch into one request
         per flush.  Only meaningful with ``store_url``.
+    stream_dir:
+        Enable the streaming campaign mode (:mod:`repro.engine.stream`):
+        wave-level events are appended to ``<stream_dir>/events.jsonl``, a
+        crash-atomic checkpoint is rewritten after every wave, and the
+        evaluation-cache lookups of wave N+1 (plus the next suite's
+        mapping-stage artifacts) are prefetched by a background thread
+        while wave N computes.
+    resume:
+        Load the checkpoint inside ``stream_dir`` and serve its completed
+        jobs instead of re-enqueuing them; the campaign then converges to
+        the identical final result.  Requires ``stream_dir``; with no
+        checkpoint on disk the campaign simply starts fresh.
     gc_max_age:
         When set, a post-campaign janitor pass evicts store entries not
         written or read for this many seconds.
@@ -220,6 +234,8 @@ class CampaignRunner:
         compact: bool = False,
         store_url: Optional[str] = None,
         store_tier: bool = False,
+        stream_dir: Optional[Path] = None,
+        resume: bool = False,
     ) -> None:
         if store_url is not None and (cache_dir is not None or artifact_dir is not None):
             raise ValueError(
@@ -227,7 +243,13 @@ class CampaignRunner:
             )
         if store_tier and store_url is None:
             raise ValueError("store_tier tiers a remote store; it needs store_url")
+        if resume and stream_dir is None:
+            raise ValueError("resume replays a stream directory; it needs stream_dir")
         self.spec = spec
+        self.stream_dir = Path(stream_dir) if stream_dir is not None else None
+        self.resume = resume
+        #: Facts of the last streamed run (``None`` outside stream mode).
+        self.stream_summary: Optional[Dict[str, object]] = None
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.store_shards = store_shards
@@ -268,6 +290,33 @@ class CampaignRunner:
 
     def run(self) -> Tuple[CampaignReport, Dict[str, ExplorationResult]]:
         """Run every suite; returns the report and per-suite exploration results."""
+        stream: Optional[CampaignStreamController] = None
+        prefetcher: Optional[AsyncPrefetcher] = None
+        artifact_prefetcher: Optional[AsyncPrefetcher] = None
+        if self.stream_dir is not None:
+            stream = CampaignStreamController(self.stream_dir, self.spec, resume=self.resume)
+            prefetcher = AsyncPrefetcher()
+            # Separate worker for artifact warm-up: on the shared worker a
+            # long next-suite fetch would queue ahead of — and stall — the
+            # engine's wave-0 cache prefetch.
+            artifact_prefetcher = AsyncPrefetcher(name="artifact-prefetcher")
+        try:
+            return self._run(stream, prefetcher, artifact_prefetcher)
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
+            if artifact_prefetcher is not None:
+                artifact_prefetcher.close()
+            if stream is not None:
+                self.stream_summary = stream.summary()
+                stream.close()
+
+    def _run(
+        self,
+        stream: Optional[CampaignStreamController],
+        prefetcher: Optional[AsyncPrefetcher],
+        artifact_prefetcher: Optional[AsyncPrefetcher],
+    ) -> Tuple[CampaignReport, Dict[str, ExplorationResult]]:
         started = time.perf_counter()
         config = ExecutorConfig(
             backend=self.spec.backend,
@@ -284,8 +333,17 @@ class CampaignRunner:
         store_stats = self.pipeline.store.stats
         store_hits_before = store_stats.hits
         store_misses_before = store_stats.misses
+        if stream is not None:
+            stream.campaign_started()
 
-        for suite_name in self.spec.suites:
+        artifact_prefetch = None
+        for suite_position, suite_name in enumerate(self.spec.suites):
+            if artifact_prefetch is not None:
+                # The background warm-up of *this* suite's artifacts must
+                # land before the pipeline maps it — two threads running
+                # the same pipeline would race its stat counters.
+                artifact_prefetch.wait()
+                artifact_prefetch = None
             stage_snapshot = self.pipeline.stats.snapshot()
             store_suite_hits = store_stats.hits
             store_suite_misses = store_stats.misses
@@ -294,6 +352,17 @@ class CampaignRunner:
             profiles = self.profile_provider(suite_name, kernels)
             profile_seconds = time.perf_counter() - profile_started
             stage_delta = self.pipeline.stats.since(stage_snapshot)
+
+            if artifact_prefetcher is not None and suite_position + 1 < len(self.spec.suites):
+                # While this suite's waves evaluate, pull the next suite's
+                # mapping-stage artifacts into the store's memory front —
+                # one batched fetch per stage instead of blocking lookups
+                # inside the next profile_provider call.
+                upcoming = suite_kernels(self.spec.suites[suite_position + 1])
+                artifact_prefetch = artifact_prefetcher.submit(
+                    lambda kernels=upcoming: self.pipeline.prefetch_stages(kernels),
+                    label=f"artifacts:{self.spec.suites[suite_position + 1]}",
+                )
 
             explorer = RSPDesignSpaceExplorer(profiles, array=self.mapper.base.array)
             cache: Optional[EvaluationCache] = None
@@ -324,10 +393,17 @@ class CampaignRunner:
                 config=config,
                 cache=cache,
                 early_reject=self.spec.early_reject,
+                completed_records=(
+                    stream.completed_records(suite_name) if stream is not None else None
+                ),
+                observer=stream.suite_observer(suite_name) if stream is not None else None,
+                prefetcher=prefetcher,
             )
             exploration = outcome.result
             stats = outcome.stats
             results[suite_name] = exploration
+            if stream is not None:
+                stream.suite_finished(suite_name)
 
             selected = exploration.selected
             suite_reports.append(
@@ -360,7 +436,13 @@ class CampaignRunner:
             totals.cache_hits += stats.cache_hits
             totals.cache_misses += stats.cache_misses
             totals.early_rejected += stats.early_rejected
+            totals.checkpoint_hits += stats.checkpoint_hits
+            totals.waves += stats.waves
 
+        if prefetcher is not None:
+            prefetcher.drain()
+        if artifact_prefetcher is not None:
+            artifact_prefetcher.drain()
         if self._tier is not None:
             # Settle the write-behind queue so the report's server-side
             # snapshots and flush counters describe a quiesced store.
@@ -392,6 +474,18 @@ class CampaignRunner:
             mapping_stages=stage_timings_as_dict(run_delta),
             store_stats=self._store_stats_block(caches, janitor_block),
         )
+        if stream is not None:
+            stream.campaign_finished(checkpoint_hits=totals.checkpoint_hits)
+        dropped = report.store_stats.get("dropped_writes", 0)
+        if dropped:
+            warnings.warn(
+                f"campaign {self.spec.name!r}: {dropped} store write(s) were "
+                "dropped while the store service was degraded — the shared "
+                "store is missing results this run computed; they will be "
+                "recomputed by the next cold worker",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return report, results
 
     def _store_stats_block(
@@ -413,6 +507,13 @@ class CampaignRunner:
             block["remote"] = self._remote.remote_stats()
         if self._tier is not None:
             block["tier"] = self._tier.tier_stats()
+        # Degraded-mode data loss, surfaced as a first-class field: writes
+        # the remote client dropped while offline plus records the tier's
+        # flusher could not deliver (0 — and ignorable — for local stores).
+        dropped = self._remote.dropped_writes if self._remote is not None else 0
+        if self._tier is not None:
+            dropped += self._tier.dropped_records
+        block["dropped_writes"] = dropped
         return block
 
     def _run_janitors(self, caches: Sequence[EvaluationCache]) -> Dict[str, object]:

@@ -1,0 +1,655 @@
+"""Streaming campaign mode: event logs, wave checkpoints, async prefetch.
+
+Long campaigns used to be a black box that produced one JSON report at
+the very end — a crash at wave N-1 lost everything except what the store
+had cached.  This module makes a campaign *observable*, *interruptible*
+and *resumable*:
+
+Event log
+    Every wave emits structured events (``campaign_start``,
+    ``wave_start``, ``result``, ``frontier_update``, ``wave_end``,
+    ``campaign_end``) to an append-only JSON-lines file next to the
+    report.  Each line is self-contained, flushed as soon as it is
+    emitted, and replayable (:func:`replay_events` validates the schema
+    and rebuilds the campaign's trajectory).
+
+Checkpoint
+    After every wave the :class:`~repro.engine.checkpoint.CampaignCheckpoint`
+    snapshots the completed-job records and the incremental Pareto
+    frontier with a write-then-rename (crash-atomic) store.  A campaign
+    killed at any point and restarted with ``resume=True`` re-enqueues
+    only unfinished jobs and converges to a final report byte-identical
+    to an uninterrupted run's (:func:`write_stream_report`).
+
+Async prefetch
+    :class:`AsyncPrefetcher` is a single background worker that overlaps
+    store round trips with compute: while wave N evaluates, wave N+1's
+    batched evaluation-cache ``mget`` is already in flight, and while a
+    suite explores, the next suite's mapping-stage artifact keys
+    (:meth:`repro.mapping.pipeline.MappingPipeline.stage_keys`) are
+    fetched into the artifact store's memory front.
+
+Determinism note: the streaming final report deliberately contains only
+*reproducible* fields (selections, fronts, candidate counts, metric
+values).  Wall times and hit/miss counters necessarily differ between an
+uninterrupted run and a killed-and-resumed one, so they live in the event
+log — which is a faithful journal, not a comparison target.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.engine.cache import evaluation_record
+from repro.engine.checkpoint import (
+    CHECKPOINT_FILENAME,
+    CampaignCheckpoint,
+    SuiteCheckpoint,
+    campaign_fingerprint,
+)
+from repro.engine.executor import WaveObserver, WaveOutcome
+from repro.engine.frontier import ParetoFrontier
+from repro.engine.jobs import CampaignSpec
+from repro.errors import ExplorationError
+
+if TYPE_CHECKING:  # pragma: no cover - type hints only
+    from repro.core.exploration import DesignPointEvaluation
+    from repro.engine.runner import CampaignReport
+
+#: Event types a campaign stream may emit, in their natural order.
+EVENT_TYPES: Tuple[str, ...] = (
+    "campaign_start",
+    "wave_start",
+    "result",
+    "frontier_update",
+    "wave_end",
+    "campaign_end",
+)
+
+#: Default event-log file name inside a stream directory.
+EVENTS_FILENAME = "events.jsonl"
+
+#: Schema marker stamped into every event line.
+EVENT_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Events and the append-only log
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CampaignEvent:
+    """One line of the campaign event log."""
+
+    sequence: int
+    type: str
+    timestamp: float
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "v": EVENT_VERSION,
+            "seq": self.sequence,
+            "type": self.type,
+            "ts": self.timestamp,
+            "data": self.data,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CampaignEvent":
+        if not isinstance(payload, dict):
+            raise ValueError(f"event lines are JSON objects, got {type(payload).__name__}")
+        event_type = payload.get("type")
+        if event_type not in EVENT_TYPES:
+            raise ValueError(f"unknown event type {event_type!r}")
+        data = payload.get("data", {})
+        if not isinstance(data, dict):
+            raise ValueError("event data must be an object")
+        return cls(
+            sequence=int(payload["seq"]),
+            type=str(event_type),
+            timestamp=float(payload.get("ts", 0.0)),
+            data=data,
+        )
+
+
+class EventLog:
+    """Append-only JSON-lines event writer/reader.
+
+    Each event is one line, written and flushed atomically enough for a
+    SIGKILL to lose at most the line being written; readers skip a torn
+    trailing line.  Reopening an existing log continues the sequence
+    numbering (and heals a missing trailing newline first), so a resumed
+    campaign appends to the same journal.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.emitted = 0
+        self._sequence = -1
+        needs_newline = False
+        if self.path.is_file() and self.path.stat().st_size:
+            raw = self.path.read_bytes()
+            needs_newline = not raw.endswith(b"\n")
+            for event in self._parse_lines(
+                raw.decode("utf-8", errors="replace").splitlines()
+            ):
+                self._sequence = max(self._sequence, event.sequence)
+        self._handle = self.path.open("a", encoding="utf-8")
+        if needs_newline:
+            # A previous run died mid-line; terminate the torn line so the
+            # next event starts clean (readers drop the torn one).
+            self._handle.write("\n")
+            self._handle.flush()
+
+    def emit(self, event_type: str, **data: Any) -> CampaignEvent:
+        """Append one event and flush it to the OS immediately."""
+        if event_type not in EVENT_TYPES:
+            raise ValueError(
+                f"unknown event type {event_type!r}; known: {', '.join(EVENT_TYPES)}"
+            )
+        self._sequence += 1
+        event = CampaignEvent(
+            sequence=self._sequence, type=event_type, timestamp=time.time(), data=data
+        )
+        self._handle.write(
+            json.dumps(event.as_dict(), sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._handle.flush()
+        self.emitted += 1
+        return event
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @staticmethod
+    def _parse_lines(lines, strict: bool = False) -> List[CampaignEvent]:
+        events: List[CampaignEvent] = []
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(CampaignEvent.from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                if strict:
+                    raise
+        return events
+
+    @staticmethod
+    def read(path: Union[str, Path], strict: bool = False) -> List[CampaignEvent]:
+        """Parse the events stored at ``path``.
+
+        Torn or foreign lines are skipped (a crash can truncate the final
+        line); ``strict=True`` raises on them instead — the schema
+        round-trip tests use that to prove every emitted line parses.
+        """
+        path = Path(path)
+        if not path.is_file():
+            return []
+        with path.open("r", encoding="utf-8") as handle:
+            return EventLog._parse_lines(handle, strict)
+
+
+# ----------------------------------------------------------------------
+# Replay: schema validation + trajectory reconstruction
+# ----------------------------------------------------------------------
+@dataclass
+class StreamReplay:
+    """What a validated event log describes."""
+
+    events: int = 0
+    campaigns: int = 0
+    completed_campaigns: int = 0
+    waves_started: Dict[str, int] = field(default_factory=dict)
+    waves_completed: Dict[str, int] = field(default_factory=dict)
+    results: Dict[str, int] = field(default_factory=dict)
+    frontiers: Dict[str, ParetoFrontier] = field(default_factory=dict)
+
+    def frontier_vectors(self, suite: str) -> List[List[float]]:
+        frontier = self.frontiers.get(suite)
+        return frontier.snapshot() if frontier is not None else []
+
+
+def replay_events(events: List[CampaignEvent]) -> StreamReplay:
+    """Validate an event stream and rebuild the campaign trajectory.
+
+    Raises :class:`~repro.errors.ExplorationError` on schema violations:
+    non-monotonic sequence numbers, wave events before any campaign
+    started, or a ``wave_end`` without its ``wave_start``.  Frontiers are
+    rebuilt by replaying every ``frontier_update`` in order, which must
+    reproduce the checkpoint's snapshot exactly.
+    """
+    replay = StreamReplay()
+    last_sequence = -1
+    open_waves: Dict[Tuple[str, int], int] = {}
+    for event in events:
+        if event.sequence <= last_sequence:
+            raise ExplorationError(
+                f"event sequence went backwards: {event.sequence} after {last_sequence}"
+            )
+        last_sequence = event.sequence
+        replay.events += 1
+        if event.type == "campaign_start":
+            replay.campaigns += 1
+            continue
+        if replay.campaigns == 0:
+            raise ExplorationError(
+                f"event {event.type!r} before any campaign_start"
+            )
+        if event.type == "campaign_end":
+            replay.completed_campaigns += 1
+            continue
+        suite = event.data.get("suite")
+        if not isinstance(suite, str) or not suite:
+            raise ExplorationError(f"event {event.type!r} names no suite")
+        if event.type in ("wave_start", "wave_end"):
+            try:
+                wave = int(event.data["wave"])
+            except (KeyError, TypeError, ValueError):
+                raise ExplorationError(
+                    f"{event.type} event carries no usable wave number: {event.data!r}"
+                )
+        if event.type == "wave_start":
+            open_waves[(suite, wave)] = event.sequence
+            replay.waves_started[suite] = replay.waves_started.get(suite, 0) + 1
+        elif event.type == "wave_end":
+            if (suite, wave) not in open_waves:
+                raise ExplorationError(
+                    f"wave_end for {suite!r} wave {wave} without a wave_start"
+                )
+            del open_waves[(suite, wave)]
+            replay.waves_completed[suite] = replay.waves_completed.get(suite, 0) + 1
+        elif event.type == "result":
+            replay.results[suite] = replay.results.get(suite, 0) + 1
+        elif event.type == "frontier_update":
+            vector = event.data.get("vector")
+            if not isinstance(vector, (list, tuple)) or len(vector) != 2:
+                raise ExplorationError("frontier_update events carry a 2-objective vector")
+            frontier = replay.frontiers.setdefault(suite, ParetoFrontier(num_objectives=2))
+            frontier.add(tuple(float(value) for value in vector))
+    return replay
+
+
+# ----------------------------------------------------------------------
+# Async prefetch
+# ----------------------------------------------------------------------
+class PrefetchHandle:
+    """Completion handle of one submitted prefetch task.
+
+    A thin view over the underlying future: the task's exception (if any)
+    was already captured into :attr:`error` by the submission wrapper, so
+    :meth:`wait` never raises — prefetch is advisory and a failure simply
+    means the synchronous path serves the miss later.
+    """
+
+    __slots__ = ("label", "_future", "_error_cell")
+
+    def __init__(
+        self, label: str, future: "Future[Any]", error_cell: List[Optional[BaseException]]
+    ) -> None:
+        self.label = label
+        self._future = future
+        self._error_cell = error_cell
+
+    @property
+    def error(self) -> Optional[BaseException]:
+        """The exception the task raised, if any (captured, never re-raised)."""
+        return self._error_cell[0]
+
+    @property
+    def done(self) -> bool:
+        return self._future.done()
+
+    @property
+    def result(self) -> Any:
+        """The task's return value, or ``None`` while pending / on error."""
+        return self._future.result() if self._future.done() else None
+
+    def wait(self, timeout: Optional[float] = None) -> Any:
+        """Block until the task finished; returns its result (``None`` on error)."""
+        try:
+            return self._future.result(timeout)
+        except FuturesTimeoutError:
+            return None
+
+
+class AsyncPrefetcher:
+    """A single background worker that overlaps store I/O with compute.
+
+    A ``ThreadPoolExecutor(max_workers=1)`` in strict submission order —
+    the point is overlap with the *main* thread, not parallel fan-out,
+    and a single worker keeps the backend's request pattern identical to
+    the synchronous path (one batched round trip at a time).  Errors are
+    recorded on the handle and counted, never raised into the campaign.
+    """
+
+    def __init__(self, name: str = "engine-prefetcher") -> None:
+        self.name = name
+        self.submitted = 0
+        self.completed = 0
+        self.errors = 0
+        self._pool = ThreadPoolExecutor(max_workers=1, thread_name_prefix=name)
+        self._pending: List[PrefetchHandle] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def submit(self, task: Callable[[], Any], label: str = "") -> PrefetchHandle:
+        """Queue ``task`` for the background worker; returns its handle."""
+        if self._closed:
+            raise RuntimeError("the prefetcher is closed")
+        error_cell: List[Optional[BaseException]] = [None]
+
+        def run() -> Any:
+            try:
+                return task()
+            except BaseException as error:  # noqa: BLE001 - advisory path
+                error_cell[0] = error
+                self.errors += 1
+                return None
+            finally:
+                self.completed += 1
+
+        handle = PrefetchHandle(label, self._pool.submit(run), error_cell)
+        self.submitted += 1
+        with self._lock:
+            self._pending = [pending for pending in self._pending if not pending.done]
+            self._pending.append(handle)
+        return handle
+
+    def drain(self) -> None:
+        """Wait for every submitted task to finish."""
+        with self._lock:
+            pending, self._pending = self._pending, []
+        for handle in pending:
+            handle.wait()
+
+    def close(self) -> None:
+        """Drain outstanding tasks and stop the worker thread."""
+        self.drain()
+        self._closed = True
+        self._pool.shutdown(wait=True)
+
+    def __enter__(self) -> "AsyncPrefetcher":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "errors": self.errors,
+        }
+
+
+# ----------------------------------------------------------------------
+# Deterministic final report
+# ----------------------------------------------------------------------
+def deterministic_report_payload(report: "CampaignReport") -> dict:
+    """The reproducible subset of a campaign report.
+
+    Contains exactly the fields that are a pure function of the campaign
+    spec and the evaluation semantics: suite selections, front sizes,
+    metric values and candidate counts.  Wall times and hit/miss counters
+    are excluded — they describe *how* the campaign ran, not what it
+    found, and necessarily differ between an uninterrupted run and a
+    killed-and-resumed one.  With ``early_reject`` on, the feasible-count
+    field is additionally dropped: the set of provably dominated
+    candidates that get skipped depends on wave timing, while the front
+    and the selection provably do not.
+    """
+    suites = []
+    for suite in report.suites:
+        entry: Dict[str, Any] = {
+            "suite": suite.suite,
+            "kernels": list(suite.kernels),
+            "num_candidates": suite.num_candidates,
+            "num_pareto": suite.num_pareto,
+            "selected": suite.selected,
+            "selected_kind": suite.selected_kind,
+            "base_area_slices": suite.base_area_slices,
+            "base_execution_time_ns": suite.base_execution_time_ns,
+            "selected_area_slices": suite.selected_area_slices,
+            "selected_execution_time_ns": suite.selected_execution_time_ns,
+            "area_reduction_percent": suite.area_reduction_percent,
+        }
+        if not report.early_reject:
+            entry["num_feasible"] = suite.num_feasible
+        suites.append(entry)
+    return {
+        "campaign": report.campaign,
+        "backend": report.backend,
+        "workers": report.workers,
+        "chunk_size": report.chunk_size,
+        "early_reject": report.early_reject,
+        "total_jobs": report.total_jobs,
+        "suites": suites,
+    }
+
+
+def write_stream_report(path: Union[str, Path], report: "CampaignReport") -> bytes:
+    """Write the canonical (byte-stable) streaming report; returns its bytes.
+
+    Canonical form: sorted keys, two-space indent, trailing newline — so
+    two campaigns that found the same results produce the same file, byte
+    for byte, regardless of interruption, caching or machine speed.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    text = json.dumps(deterministic_report_payload(report), sort_keys=True, indent=2) + "\n"
+    data = text.encode("utf-8")
+    path.write_bytes(data)
+    return data
+
+
+# ----------------------------------------------------------------------
+# The controller driving one streamed campaign
+# ----------------------------------------------------------------------
+class _SuiteStreamObserver(WaveObserver):
+    """Relays one suite's waves into events + checkpoint updates."""
+
+    def __init__(self, controller: "CampaignStreamController", state: SuiteCheckpoint) -> None:
+        self.controller = controller
+        self.state = state
+        #: Live frontier of feasible points, seeded from the checkpoint.
+        self.frontier = ParetoFrontier.restore(state.frontier)
+        #: Wave numbering continues across runs of the same checkpoint.
+        self._wave_offset = state.waves_done
+        #: Set mirror of the checkpoint's rejected list (O(1) dedup).
+        self._rejected = set(state.rejected)
+
+    def _wave(self, wave_index: int) -> int:
+        return self._wave_offset + wave_index
+
+    def base_evaluated(
+        self,
+        key: str,
+        evaluation: "DesignPointEvaluation",
+        source: str,
+        feasible: bool,
+    ) -> None:
+        self.state.records[key] = evaluation_record(evaluation)
+        self.controller.events.emit(
+            "result",
+            suite=self.state.suite,
+            wave=None,
+            key=key,
+            label=evaluation.architecture.name,
+            source=source,
+            feasible=feasible,
+            area_slices=evaluation.area_slices,
+            execution_time_ns=evaluation.total_execution_time_ns,
+        )
+        self.controller.save_checkpoint()
+
+    def wave_started(self, wave_index: int, job_count: int) -> None:
+        self.controller.events.emit(
+            "wave_start", suite=self.state.suite, wave=self._wave(wave_index), jobs=job_count
+        )
+
+    def wave_finished(self, outcome: WaveOutcome) -> None:
+        wave = self._wave(outcome.wave_index)
+        events = self.controller.events
+        for result in outcome.results:
+            self.state.records[result.key] = evaluation_record(result.evaluation)
+            vector = (
+                result.evaluation.area_slices,
+                result.evaluation.total_execution_time_ns,
+            )
+            events.emit(
+                "result",
+                suite=self.state.suite,
+                wave=wave,
+                key=result.key,
+                label=result.label,
+                source=result.source,
+                feasible=result.feasible,
+                area_slices=vector[0],
+                execution_time_ns=vector[1],
+            )
+            if result.feasible and self.frontier.add(vector):
+                events.emit(
+                    "frontier_update",
+                    suite=self.state.suite,
+                    key=result.key,
+                    vector=list(vector),
+                    size=len(self.frontier),
+                )
+        for _, key in outcome.rejected:
+            if key not in self._rejected:
+                self._rejected.add(key)
+                self.state.rejected.append(key)
+        self.state.frontier = self.frontier.snapshot()
+        self.state.waves_done += 1
+        self.controller.waves_run += 1
+        events.emit(
+            "wave_end",
+            suite=self.state.suite,
+            wave=wave,
+            results=len(outcome.results),
+            rejected=len(outcome.rejected),
+            frontier_size=len(self.frontier),
+        )
+        self.controller.save_checkpoint()
+
+
+class CampaignStreamController:
+    """Owns the event log and checkpoint of one streamed campaign.
+
+    Parameters
+    ----------
+    directory:
+        Stream directory; holds ``events.jsonl`` (appended across runs)
+        and ``checkpoint.json`` (atomically replaced after every wave).
+    spec:
+        The campaign being streamed; its fingerprint guards the
+        checkpoint against resuming a different campaign.
+    resume:
+        Load an existing checkpoint and serve its completed jobs instead
+        of re-enqueuing them.  With no checkpoint on disk the campaign
+        simply starts fresh (so retry loops can pass ``resume=True``
+        unconditionally); a checkpoint from a *different* spec is refused.
+    """
+
+    def __init__(
+        self, directory: Union[str, Path], spec: CampaignSpec, resume: bool = False
+    ) -> None:
+        self.directory = Path(directory)
+        self.spec = spec
+        self.fingerprint = campaign_fingerprint(spec)
+        self.checkpoint_path = self.directory / CHECKPOINT_FILENAME
+        self.resumed = False
+        # Validate the checkpoint *before* touching the directory: a
+        # --resume pointed at another campaign's stream must be refused
+        # without creating directories or appending to its journal.
+        checkpoint: Optional[CampaignCheckpoint] = None
+        if resume:
+            checkpoint = CampaignCheckpoint.load(self.checkpoint_path)
+            if checkpoint is not None:
+                checkpoint.require_fingerprint(self.fingerprint, self.checkpoint_path)
+                self.resumed = True
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.events = EventLog(self.directory / EVENTS_FILENAME)
+        self.checkpoint = checkpoint or CampaignCheckpoint(fingerprint=self.fingerprint)
+        self.resumed_records = self.checkpoint.total_records
+        self.waves_run = 0
+        self.checkpoint_hits = 0
+
+    # ------------------------------------------------------------------
+    # Campaign lifecycle
+    # ------------------------------------------------------------------
+    def campaign_started(self) -> None:
+        self.events.emit(
+            "campaign_start",
+            campaign=self.spec.name,
+            suites=list(self.spec.suites),
+            fingerprint=self.fingerprint,
+            resumed=self.resumed,
+            checkpoint_records=self.resumed_records,
+            backend=self.spec.backend,
+            workers=self.spec.workers,
+            chunk_size=self.spec.chunk_size,
+            early_reject=self.spec.early_reject,
+        )
+
+    def completed_records(self, suite: str) -> Dict[str, dict]:
+        """The checkpointed evaluation records of ``suite`` (resume input)."""
+        return dict(self.checkpoint.suite(suite).records)
+
+    def suite_observer(self, suite: str) -> _SuiteStreamObserver:
+        """The wave observer that journals and checkpoints ``suite``."""
+        return _SuiteStreamObserver(self, self.checkpoint.suite(suite))
+
+    def suite_finished(self, suite: str) -> None:
+        self.checkpoint.suite(suite).complete = True
+        self.save_checkpoint()
+
+    def campaign_finished(self, checkpoint_hits: int = 0) -> None:
+        self.checkpoint_hits = checkpoint_hits
+        self.events.emit(
+            "campaign_end",
+            campaign=self.spec.name,
+            resumed=self.resumed,
+            checkpoint_hits=checkpoint_hits,
+            waves=self.waves_run,
+            suites=[name for name, suite in self.checkpoint.suites.items() if suite.complete],
+        )
+
+    def save_checkpoint(self) -> None:
+        self.checkpoint.save(self.checkpoint_path)
+
+    def close(self) -> None:
+        self.events.close()
+
+    def __enter__(self) -> "CampaignStreamController":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def summary(self) -> Dict[str, Any]:
+        """One-line facts for the CLI's ``stream:`` summary."""
+        return {
+            "directory": str(self.directory),
+            "resumed": self.resumed,
+            "events": self.events.emitted,
+            "waves": self.waves_run,
+            "checkpoint_hits": self.checkpoint_hits,
+            "records": self.checkpoint.total_records,
+        }

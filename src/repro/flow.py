@@ -86,6 +86,7 @@ def run_rsp_flow(
     store_shards: int = 1,
     store_url: Optional[str] = None,
     store_tier: bool = False,
+    prefetch_artifacts: bool = False,
 ) -> FlowOutcome:
     """Run the complete RSP design flow for an application domain.
 
@@ -126,6 +127,13 @@ def run_rsp_flow(
         service instead of a local directory (``store_tier`` fronts it
         with an in-memory read-through/write-behind tier).  Mutually
         exclusive with ``artifact_store``.
+    prefetch_artifacts:
+        Batch-warm the artifact store before each mapping phase: all
+        kernels' base-mapping stage keys are fetched in one request per
+        stage up front, and the selected design's rearrangement keys the
+        same way before the final RSP mapping loop — instead of one
+        blocking store lookup per kernel inside the loops.  Pays off
+        against a remote store; a no-op for in-memory stores.
     """
     if not kernels:
         raise ExplorationError("the RSP flow needs at least one kernel")
@@ -152,6 +160,10 @@ def run_rsp_flow(
         cost_model = cost_model or HardwareCostModel()
 
         # Upper half of Figure 7: pipeline mapping on the base architecture.
+        if prefetch_artifacts:
+            # The base target adds the generate_context keys of the base
+            # mapping when the mapper produces contexts (a no-op otherwise).
+            mapper.pipeline.prefetch_stages(list(kernels), targets=[base])
         base_mappings: Dict[str, MappingResult] = {}
         profiles: Dict[str, ScheduleProfile] = {}
         for kernel in kernels:
@@ -170,6 +182,10 @@ def run_rsp_flow(
         if exploration.selected is not None and exploration.selected.parameters.kind != "base":
             selected_architecture = exploration.selected.architecture
             # RSP mapping: rearrange every kernel's context for the chosen design.
+            if prefetch_artifacts:
+                mapper.pipeline.prefetch_stages(
+                    list(kernels), targets=[selected_architecture]
+                )
             for kernel in kernels:
                 rsp_mappings[kernel.name] = mapper.map_kernel(kernel, selected_architecture)
 

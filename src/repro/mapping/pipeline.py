@@ -434,6 +434,71 @@ class MappingPipeline:
         }
 
     # ------------------------------------------------------------------
+    # Stage-key enumeration (prefetch planning)
+    # ------------------------------------------------------------------
+    def stage_keys(
+        self,
+        kernels: Sequence[Kernel],
+        targets: Sequence[ArchitectureSpec] = (),
+        iterations: Optional[int] = None,
+    ) -> Dict[str, List[str]]:
+        """Every persistent stage key these kernels would touch — without
+        executing any stage.
+
+        The whole key chain is derivable from the DFG fingerprint and the
+        architecture fingerprints alone (that is the point of input-hash
+        keying), so the only work done here is the cheap, memoised DFG
+        construction.  This is what lets a prefetcher warm the artifact
+        store for a suite *while the previous suite is still exploring*:
+        one batched fetch per stage instead of one blocking lookup per
+        kernel inside the mapping call.
+        """
+        keys: Dict[str, List[str]] = {"base_schedule": [], "extract_profile": []}
+        rearrange_keys: List[str] = []
+        context_keys: List[str] = []
+        for kernel in kernels:
+            dfg_key = self.dfg_artifact(kernel, iterations).key
+            schedule_key = self._base_schedule_key(dfg_key)
+            keys["base_schedule"].append(schedule_key)
+            keys["extract_profile"].append(
+                stage_key("extract_profile", schedule=schedule_key, dfg=dfg_key)
+            )
+            for target in targets:
+                if target.is_base:
+                    upstream_key = schedule_key
+                else:
+                    upstream_key = stage_key(
+                        "rearrange",
+                        schedule=schedule_key,
+                        dfg=dfg_key,
+                        architecture=architecture_fingerprint(target),
+                    )
+                    rearrange_keys.append(upstream_key)
+                if self.generate_contexts:
+                    context_keys.append(
+                        stage_key("generate_context", schedule=upstream_key, dfg=dfg_key)
+                    )
+        if rearrange_keys:
+            keys["rearrange"] = rearrange_keys
+        if context_keys:
+            keys["generate_context"] = context_keys
+        return keys
+
+    def prefetch_stages(
+        self,
+        kernels: Sequence[Kernel],
+        targets: Sequence[ArchitectureSpec] = (),
+        iterations: Optional[int] = None,
+    ) -> int:
+        """Batch-warm the artifact store for ``kernels`` (one fetch per stage).
+
+        Returns the number of artifacts pulled into the store's memory
+        layer; purely in-memory stores return 0 (there is nothing slower
+        than memory to fetch from).
+        """
+        return self.store.prefetch(self.stage_keys(kernels, targets, iterations))
+
+    # ------------------------------------------------------------------
     # Stage 4: rearrange
     # ------------------------------------------------------------------
     def rearrange_artifact(

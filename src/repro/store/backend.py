@@ -138,6 +138,20 @@ class StoreBackend(Protocol):
             self.put(namespace, key, value)
         return len(records)
 
+    def prefetch(self, namespace: str, keys: Sequence[str]) -> Dict[str, Any]:
+        """Advisory batch warm-up ahead of per-key reads.
+
+        Semantically :meth:`get_many`, but callers promise they will read
+        the same keys again shortly — backends with a fast front
+        (:class:`~repro.store.tiered.TieredBackend`) pull the values in
+        *without* charging front hit/miss counters, so a background
+        prefetch never skews the campaign's cache accounting.  The engine
+        issues one prefetch per upcoming wave from the async prefetcher
+        thread, overlapping the round trip with the current wave's
+        compute.
+        """
+        return self.get_many(namespace, keys)
+
 
 @dataclass
 class _Counters:

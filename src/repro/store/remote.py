@@ -450,6 +450,16 @@ class RemoteBackend(StoreBackend):
             compaction=CompactionReport(**document.get("compaction", {})),
         )
 
+    @property
+    def dropped_writes(self) -> int:
+        """Writes this client dropped in degraded mode (puts and mput records).
+
+        These values never reached the server: campaigns that ran through
+        an outage report them so an operator knows the shared store is
+        *missing* results that look locally complete.
+        """
+        return self.dropped_puts
+
     def remote_stats(self) -> Dict[str, object]:
         """Client-side transport counters for reports and the CLI."""
         return {

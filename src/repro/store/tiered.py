@@ -94,6 +94,9 @@ class TieredBackend(StoreBackend):
         self.flush_batches = 0
         self.flushed_records = 0
         self.flush_errors = 0
+        #: Records in flush batches the slow tier rejected — they stayed
+        #: in the front but never reached durable storage.
+        self.dropped_records = 0
         self.inline_flushes = 0
 
     # ------------------------------------------------------------------
@@ -140,6 +143,7 @@ class TieredBackend(StoreBackend):
             # disk); the batch is dropped, not retried forever — the
             # values are content-addressed recomputables, not ledgers.
             self.flush_errors += 1
+            self.dropped_records += len(batch)
         finally:
             with self._condition:
                 self._in_flight -= len(batch)
@@ -202,16 +206,21 @@ class TieredBackend(StoreBackend):
             self.front.put(namespace, key, value)
         return hit, value
 
-    def get_many(self, namespace: str, keys: Sequence[str]) -> Dict[str, Any]:
+    def _read_through(
+        self, namespace: str, keys: Sequence[str], charge_counters: bool
+    ) -> Dict[str, Any]:
+        """Front probe + one slow-tier batch + front install (shared body)."""
         found: Dict[str, Any] = {}
         missing: List[str] = []
         for key in keys:
             hit, value = self.front.get(namespace, key)
             if hit:
-                self.front_hits += 1
+                if charge_counters:
+                    self.front_hits += 1
                 found[key] = value
             else:
-                self.front_misses += 1
+                if charge_counters:
+                    self.front_misses += 1
                 missing.append(key)
         if missing:
             fetched = self.backend.get_many(namespace, missing)
@@ -219,6 +228,19 @@ class TieredBackend(StoreBackend):
                 self.front.put(namespace, key, value)
             found.update(fetched)
         return found
+
+    def get_many(self, namespace: str, keys: Sequence[str]) -> Dict[str, Any]:
+        return self._read_through(namespace, keys, charge_counters=True)
+
+    def prefetch(self, namespace: str, keys: Sequence[str]) -> Dict[str, Any]:
+        """Warm the front for ``keys`` without charging front counters.
+
+        A background prefetch is not a read the campaign asked for: keys
+        already in the front are returned silently, the rest are pulled
+        from the slow tier in one batch and installed — the later real
+        ``get`` then counts its front hit as usual.
+        """
+        return self._read_through(namespace, keys, charge_counters=False)
 
     def put(self, namespace: str, key: str, value: Any) -> None:
         self.front.put(namespace, key, value)
@@ -300,6 +322,7 @@ class TieredBackend(StoreBackend):
             "flush_batches": self.flush_batches,
             "flushed_records": self.flushed_records,
             "flush_errors": self.flush_errors,
+            "dropped_records": self.dropped_records,
             "inline_flushes": self.inline_flushes,
             "pending": self.pending,
         }

@@ -288,17 +288,26 @@ def test_remote_janitor_block_and_gc(live_server, tmp_path):
 
 
 def test_runner_with_unreachable_service_still_completes(small_spec):
-    """Degraded mode: no server, the campaign recomputes and succeeds."""
+    """Degraded mode: no server, the campaign recomputes and succeeds —
+    and the writes it dropped are surfaced, not silently counted away."""
     runner = CampaignRunner(small_spec, store_url="http://127.0.0.1:9")
     runner._remote.retries = 0
     runner._remote.backoff = 0.0
     try:
-        report, results = runner.run()
+        with pytest.warns(RuntimeWarning, match=r"store write\(s\) were dropped"):
+            report, results = runner.run()
     finally:
         runner.close()
     assert report.cache_hits == 0
     assert results["h264"].selected is not None
     assert report.store_stats["remote"]["offline_trips"] >= 1
+    # The degraded run dropped every evaluation/artifact write; the count
+    # is a first-class report field and feeds the CLI store: line.
+    assert report.store_stats["dropped_writes"] > 0
+    assert (
+        report.store_stats["dropped_writes"]
+        == report.store_stats["remote"]["dropped_puts"]
+    )
 
 
 def test_flow_accepts_a_store_url(live_server):

@@ -1,0 +1,158 @@
+"""Property tests for the streaming layer: frontier checkpoints, event logs.
+
+Two invariants the resume machinery leans on:
+
+* frontier checkpoint/restore — snapshotting a :class:`ParetoFrontier`
+  and restoring it (optionally continuing with more points) is exactly
+  equivalent to building one frontier from the full point list.  This is
+  what lets a resumed campaign rebuild its dominance state from the
+  checkpoint instead of replaying every evaluation.
+* event-log round trip — every emitted event parses back bit-identically
+  under strict reading, and a well-formed emission order always replays
+  (sequence numbers monotonic, wave bracketing intact, per-suite counts
+  reproduced).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.frontier import ParetoFrontier
+from repro.engine.stream import EventLog, replay_events
+
+
+@pytest.fixture()
+def event_log_dir(tmp_path):
+    """A per-test directory; each hypothesis example gets a fresh file."""
+    return tmp_path
+
+# Small coordinates with repeats so duplicate vectors and dominance ties
+# actually occur; floats join in to cover mixed numeric payloads.
+coordinates = st.one_of(
+    st.integers(min_value=0, max_value=8),
+    st.floats(min_value=0.0, max_value=8.0, allow_nan=False, width=32),
+)
+points = st.lists(st.tuples(coordinates, coordinates), max_size=60)
+
+
+def full_rebuild(vectors) -> ParetoFrontier:
+    frontier = ParetoFrontier(num_objectives=2)
+    for vector in vectors:
+        frontier.add(vector)
+    return frontier
+
+
+@given(points=points)
+def test_frontier_restore_equals_full_rebuild(points):
+    reference = full_rebuild(points)
+    restored = ParetoFrontier.restore(reference.snapshot())
+    assert restored.vectors() == reference.vectors()
+    # The restored frontier answers dominance queries identically.
+    for probe in points:
+        assert restored.dominated(probe) == reference.dominated(probe)
+
+
+@given(points=points, split=st.integers(min_value=0, max_value=60))
+def test_checkpointed_frontier_continues_like_an_uninterrupted_one(points, split):
+    """Snapshot mid-stream, restore, feed the rest: same frontier as one
+    pass over the full list — the resume path's exact access pattern."""
+    split = min(split, len(points))
+    interrupted = full_rebuild(points[:split])
+    resumed = ParetoFrontier.restore(interrupted.snapshot())
+    for vector in points[split:]:
+        resumed.add(vector)
+    assert resumed.vectors() == full_rebuild(points).vectors()
+
+
+@given(points=points)
+def test_snapshot_is_json_shaped(points):
+    snapshot = full_rebuild(points).snapshot()
+    assert all(isinstance(vector, list) and len(vector) == 2 for vector in snapshot)
+
+
+# ----------------------------------------------------------------------
+# Event-log round trip
+# ----------------------------------------------------------------------
+suite_names = st.sampled_from(["paper", "livermore", "dsp", "h264"])
+payload_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=20),
+)
+#: Per-wave synthetic activity: (suite, results, frontier updates).
+waves = st.lists(
+    st.tuples(
+        suite_names,
+        st.integers(min_value=0, max_value=4),
+        st.lists(st.tuples(coordinates, coordinates), max_size=3),
+    ),
+    max_size=12,
+)
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(waves=waves, extra=st.dictionaries(st.text(max_size=10), payload_values, max_size=4))
+def test_emitted_events_parse_and_replay(event_log_dir, waves, extra):
+    path = Path(event_log_dir) / "events.jsonl"
+    path.unlink(missing_ok=True)
+    emitted = []
+    with EventLog(path) as log:
+        emitted.append(log.emit("campaign_start", campaign="prop", **extra))
+        for wave_index, (suite, results, vectors) in enumerate(waves):
+            emitted.append(log.emit("wave_start", suite=suite, wave=wave_index, jobs=results))
+            for result_index in range(results):
+                emitted.append(
+                    log.emit(
+                        "result",
+                        suite=suite,
+                        wave=wave_index,
+                        key=f"k{wave_index}-{result_index}",
+                        label=f"cand-{result_index}",
+                        source="computed",
+                        feasible=True,
+                        area_slices=float(result_index),
+                        execution_time_ns=float(wave_index),
+                    )
+                )
+            for vector in vectors:
+                emitted.append(
+                    log.emit(
+                        "frontier_update",
+                        suite=suite,
+                        key="k",
+                        vector=[float(vector[0]), float(vector[1])],
+                        size=1,
+                    )
+                )
+            emitted.append(
+                log.emit("wave_end", suite=suite, wave=wave_index, results=results, rejected=0)
+            )
+        emitted.append(log.emit("campaign_end", campaign="prop"))
+
+    parsed = EventLog.read(path, strict=True)
+    assert parsed == emitted  # bit-identical round trip, order preserved
+
+    replay = replay_events(parsed)
+    assert replay.events == len(emitted)
+    assert replay.campaigns == 1
+    assert replay.completed_campaigns == 1
+    expected_waves: dict = {}
+    expected_results: dict = {}
+    expected_frontiers: dict = {}
+    for suite, results, vectors in waves:
+        expected_waves[suite] = expected_waves.get(suite, 0) + 1
+        if results:
+            expected_results[suite] = expected_results.get(suite, 0) + results
+        for vector in vectors:
+            frontier = expected_frontiers.setdefault(suite, ParetoFrontier())
+            frontier.add((float(vector[0]), float(vector[1])))
+    assert replay.waves_completed == expected_waves
+    assert replay.results == expected_results
+    for suite, frontier in expected_frontiers.items():
+        assert replay.frontier_vectors(suite) == frontier.snapshot()
