@@ -56,7 +56,7 @@ def server(tmp_path):
         yield live
 
 
-def test_remote_backend_throughput_table(server, tmp_path):
+def test_remote_backend_throughput_table(server, tmp_path, bench_metrics):
     rows = []
     clients = {}
     for label, backend in (
@@ -73,6 +73,9 @@ def test_remote_backend_throughput_table(server, tmp_path):
         cold_get = timed(lambda: backend.get_many(label, keys))
         warm_get = timed(lambda: backend.get_many(label, keys))
         clients[label] = backend
+        bench_metrics[f"{label}_mput_per_s"] = round(RECORDS / put_seconds, 1)
+        bench_metrics[f"{label}_cold_mget_per_s"] = round(RECORDS / cold_get, 1)
+        bench_metrics[f"{label}_warm_mget_per_s"] = round(RECORDS / warm_get, 1)
         rows.append(
             [
                 label,
@@ -98,7 +101,7 @@ def test_remote_backend_throughput_table(server, tmp_path):
     clients["tiered"].close()
 
 
-def test_batched_mput_beats_per_key_puts_over_the_same_socket(server):
+def test_batched_mput_beats_per_key_puts_over_the_same_socket(server, bench_metrics):
     client = RemoteBackend(server.url, strict=True)
     try:
         single_keys = [record_key("single", index) for index in range(RECORDS)]
@@ -114,6 +117,14 @@ def test_batched_mput_beats_per_key_puts_over_the_same_socket(server):
         batch_seconds = timed(lambda: client.put_many("batch", batch_records))
 
         speedup = per_key_seconds / batch_seconds
+        bench_metrics.update(
+            {
+                "records": RECORDS,
+                "per_key_put_seconds": round(per_key_seconds, 6),
+                "batched_mput_seconds": round(batch_seconds, 6),
+                "mput_speedup": round(speedup, 2),
+            }
+        )
         print(
             f"\nmput: {RECORDS} records per-key {per_key_seconds * 1000:.1f} ms, "
             f"batched {batch_seconds * 1000:.1f} ms -> {speedup:.1f}x"
@@ -126,6 +137,7 @@ def test_batched_mput_beats_per_key_puts_over_the_same_socket(server):
         # The read side: one mget round trip vs one GET per key.
         per_key_get = timed(lambda: [client.get("single", key) for key in single_keys])
         batch_get = timed(lambda: client.get_many("single", single_keys))
+        bench_metrics["mget_speedup"] = round(per_key_get / batch_get, 2)
         print(
             f"mget: per-key {per_key_get * 1000:.1f} ms, "
             f"batched {batch_get * 1000:.1f} ms -> {per_key_get / batch_get:.1f}x"

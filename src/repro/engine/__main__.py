@@ -173,6 +173,15 @@ def build_parser() -> argparse.ArgumentParser:
         "(no checkpoint on disk simply starts fresh)",
     )
     parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="span-based tracing: drain campaign/suite/wave/stage/eval "
+        "spans and counters into DIR/trace.db (may be the same DIR as "
+        "--stream); inspect with python -m repro.trace summary DIR",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="write the JSON campaign report here"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress the summary table")
@@ -277,6 +286,7 @@ def _run(args: argparse.Namespace) -> int:
         store_tier=args.store_tier,
         stream_dir=args.stream,
         resume=args.resume,
+        trace_dir=args.trace,
     )
     try:
         report, _ = runner.run()
@@ -299,7 +309,9 @@ def _run(args: argparse.Namespace) -> int:
         )
         stage_summary = "  ".join(
             f"{stage}: {timing['seconds']:.3f}s"
-            f" ({timing['hits']}h/{timing['misses']}m)"
+            f" ({timing['hits']}h/{timing['misses']}m"
+            f", p50 {1e3 * timing.get('p50', 0.0):.2f}ms"
+            f"/p95 {1e3 * timing.get('p95', 0.0):.2f}ms)"
             for stage, timing in report.mapping_stages.items()
         )
         print(
@@ -314,6 +326,15 @@ def _run(args: argparse.Namespace) -> int:
                 f"stream: {facts['directory']}  events: {facts['events']}  "
                 f"waves: {facts['waves']}  checkpoint: {facts['records']} records / "
                 f"{facts['checkpoint_hits']} served  resumed={facts['resumed']}"
+            )
+        if runner.trace_summary is not None:
+            facts = runner.trace_summary
+            counters = facts.get("counters", {})
+            print(
+                f"trace: {facts['db']}  spans: {facts['spans']}  "
+                f"waves: {counters.get('wave.count', 0)}  "
+                f"results: {counters.get('result.count', 0)}  "
+                f"(python -m repro.trace summary {args.trace})"
             )
 
     if args.output is not None:

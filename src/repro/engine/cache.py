@@ -52,6 +52,7 @@ from repro.store import (
     StoreJanitor,
     StoreStats,
 )
+from repro.trace.spans import get_tracer
 
 
 @dataclass
@@ -231,6 +232,9 @@ class EvaluationCache:
         self._front[key] = record
         self._known_misses.discard(key)
         self.stats.stores += 1
+        tracer = get_tracer()
+        if tracer.active:
+            tracer.counter("store.eval.store")
 
     def put_many(self, evaluations: Mapping[str, DesignPointEvaluation]) -> int:
         """Batch :meth:`put`: one backend ``put_many`` for a whole wave.
@@ -250,6 +254,9 @@ class EvaluationCache:
         self._front.update(fresh)
         self._known_misses.difference_update(fresh)
         self.stats.stores += len(fresh)
+        tracer = get_tracer()
+        if tracer.active:
+            tracer.counter("store.eval.store", float(len(fresh)))
         return len(fresh)
 
     def prefetch(self, keys: Iterable[str]) -> int:
@@ -284,17 +291,24 @@ class EvaluationCache:
         The architecture is rebuilt from the job's parameters (cheap and
         deterministic), then populated with the cached numbers.
         """
+        tracer = get_tracer()
         record = self._front.get(key)
         if record is None:
             if key in self._known_misses:
                 self.stats.misses += 1
+                if tracer.active:
+                    tracer.counter("store.eval.miss")
                 return None
             hit, record = self.backend.get(self.namespace, key)
             if not hit or not _valid_record(record):
                 self.stats.misses += 1
+                if tracer.active:
+                    tracer.counter("store.eval.miss")
                 return None
             self._front[key] = record
         self.stats.hits += 1
+        if tracer.active:
+            tracer.counter("store.eval.hit")
         return rehydrate_evaluation(record, job, array)
 
     # ------------------------------------------------------------------

@@ -24,6 +24,7 @@ dominated, can never join the Pareto front, and is skipped outright.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -45,6 +46,7 @@ from repro.engine.cache import EvaluationCache, rehydrate_evaluation
 from repro.engine.frontier import ParetoFrontier
 from repro.engine.jobs import EvaluationJob, evaluation_context_hash
 from repro.errors import ExplorationError
+from repro.trace.spans import Tracer, get_tracer, set_tracer
 
 #: Backends accepted by :class:`ExecutorConfig`.
 BACKENDS: Tuple[str, ...] = ("serial", "thread", "process")
@@ -185,6 +187,52 @@ def _worker_evaluate(jobs: List[EvaluationJob]) -> List[DesignPointEvaluation]:
     return [_WORKER_EXPLORER.evaluate(job.parameters, name=job.name) for job in jobs]
 
 
+_WORKER_TRACER: Optional[Tracer] = None
+
+
+def _worker_tracer() -> Tracer:
+    """The per-process worker tracer (one per pid, reused across chunks).
+
+    One long-lived tracer per worker keeps the span-id sequence
+    monotonically increasing across chunk calls: a fresh tracer per call
+    would restart the sequence at 1 and two chunks handled by the same
+    worker would collide on ``<pid>-1``, silently replacing each other in
+    the DB.  The pid check renews the tracer after a fork so inherited
+    state can never alias another process's ids.
+    """
+    global _WORKER_TRACER
+    if _WORKER_TRACER is None or _WORKER_TRACER.pid != os.getpid():
+        _WORKER_TRACER = Tracer()
+    return _WORKER_TRACER
+
+
+def _worker_evaluate_traced(
+    jobs: List[EvaluationJob],
+) -> Tuple[List[DesignPointEvaluation], List[dict], Dict[str, float]]:
+    """Traced chunk evaluation inside a pool worker.
+
+    The worker never writes the trace DB (SQLite handles are not shareable
+    across processes — see :class:`repro.trace.db.TraceDB`).  Instead it
+    installs its process-local tracer for the duration of the chunk so
+    nested instrumentation lands in it, then drains and ships the
+    finished span records and counter deltas back through the pool's
+    return value; the parent ingests them into its own buffer.  Span ids
+    carry the worker's pid, so records from a whole fleet never collide.
+    """
+    assert _WORKER_EXPLORER is not None, "worker initializer did not run"
+    tracer = _worker_tracer()
+    previous = set_tracer(tracer)
+    try:
+        with tracer.span("evaluate", kind="eval", jobs=len(jobs), backend="process"):
+            evaluations = [
+                _WORKER_EXPLORER.evaluate(job.parameters, name=job.name) for job in jobs
+            ]
+    finally:
+        set_tracer(previous)
+    batch = tracer.drain()
+    return evaluations, batch.spans, batch.counters
+
+
 def _chunked(items: Sequence, size: int) -> List[List]:
     return [list(items[start : start + size]) for start in range(0, len(items), size)]
 
@@ -211,14 +259,26 @@ class EvaluationEngine:
 
     @property
     def context_hash(self) -> str:
-        """Digest of the evaluation context (computed once, lazily)."""
+        """Digest of the evaluation context (computed once, lazily).
+
+        Cached on the explorer itself, not just this engine: the digest
+        covers the profiles and models the explorer was constructed with
+        (none of which are reassigned after construction), and hashing
+        them walks every schedule profile — tens of milliseconds that
+        :func:`run_exploration` would otherwise pay again for every
+        sweep over the same explorer.
+        """
         if self._context_hash is None:
-            self._context_hash = evaluation_context_hash(
-                self.explorer.profiles,
-                self.explorer.array,
-                self.explorer.cost_model,
-                self.explorer.timing_model,
-            )
+            cached = getattr(self.explorer, "_evaluation_context_hash", None)
+            if cached is None:
+                cached = evaluation_context_hash(
+                    self.explorer.profiles,
+                    self.explorer.array,
+                    self.explorer.cost_model,
+                    self.explorer.timing_model,
+                )
+                self.explorer._evaluation_context_hash = cached
+            self._context_hash = cached
         return self._context_hash
 
     # ------------------------------------------------------------------
@@ -407,12 +467,22 @@ class EvaluationEngine:
                         )
                     )
                 else:
-                    wave_results = list(
-                        pool.map(
-                            _worker_evaluate,
-                            [[jobs[index] for index in chunk] for chunk in dispatch],
-                        )
-                    )
+                    payloads = [[jobs[index] for index in chunk] for chunk in dispatch]
+                    tracer = get_tracer()
+                    if tracer.active:
+                        # Workers buffer their spans locally and flush them
+                        # through the parent: the pool's return value is the
+                        # only channel, so the DB stays single-writer.
+                        wave_results = []
+                        for evaluations, span_records, counter_deltas in pool.map(
+                            _worker_evaluate_traced, payloads
+                        ):
+                            wave_results.append(evaluations)
+                            tracer.ingest(span_records)
+                            for name, value in counter_deltas.items():
+                                tracer.counter(name, value)
+                    else:
+                        wave_results = list(pool.map(_worker_evaluate, payloads))
 
                 fresh: Dict[str, DesignPointEvaluation] = {}
                 for chunk, evaluations in zip(dispatch, wave_results):
@@ -483,7 +553,11 @@ class EvaluationEngine:
 def _evaluate_with(
     explorer: RSPDesignSpaceExplorer, jobs: List[EvaluationJob]
 ) -> List[DesignPointEvaluation]:
-    return [explorer.evaluate(job.parameters, name=job.name) for job in jobs]
+    tracer = get_tracer()
+    if not tracer.active:
+        return [explorer.evaluate(job.parameters, name=job.name) for job in jobs]
+    with tracer.span("evaluate", kind="eval", jobs=len(jobs)):
+        return [explorer.evaluate(job.parameters, name=job.name) for job in jobs]
 
 
 # ----------------------------------------------------------------------

@@ -62,6 +62,17 @@ def hash_payload(payload: object) -> str:
     return content_hash(payload)
 
 
+#: Memo for :meth:`EvaluationJob.content_hash`.  The digest is fully
+#: determined by ``(parameters, context_hash)`` — the optional job name is
+#: a display label, not part of the payload — and candidate grids reuse the
+#: same :class:`RSPParameters` values across sweeps, caches and observers,
+#: so repeated hashing of one candidate is pure waste.  Entries are tiny
+#: and the parameter space is enumerable, but cap it anyway so a pathological
+#: caller cannot grow it without bound.
+_CONTENT_HASH_MEMO: Dict[Tuple[RSPParameters, str], str] = {}
+_CONTENT_HASH_MEMO_LIMIT = 65536
+
+
 def evaluation_context_hash(
     profiles: Dict[str, ScheduleProfile],
     array: ArraySpec,
@@ -106,8 +117,15 @@ class EvaluationJob:
         return self.name or self.parameters.describe()
 
     def content_hash(self, context_hash: str) -> str:
-        """Cache key: candidate parameters + evaluation context."""
-        return hash_payload({"context": context_hash, "parameters": self.parameters})
+        """Cache key: candidate parameters + evaluation context (memoized)."""
+        memo_key = (self.parameters, context_hash)
+        digest = _CONTENT_HASH_MEMO.get(memo_key)
+        if digest is None:
+            digest = hash_payload({"context": context_hash, "parameters": self.parameters})
+            if len(_CONTENT_HASH_MEMO) >= _CONTENT_HASH_MEMO_LIMIT:
+                _CONTENT_HASH_MEMO.clear()
+            _CONTENT_HASH_MEMO[memo_key] = digest
+        return digest
 
 
 @dataclass(frozen=True)

@@ -110,6 +110,12 @@ class CampaignReport:
     #: artifact store and evaluation caches, and the janitor outcome when
     #: GC/compaction ran (see :meth:`CampaignRunner.run`).
     store_stats: Dict[str, object] = field(default_factory=dict)
+    #: Total evaluation waves across all suites.
+    waves: int = 0
+    #: Trace block of a traced run (``{}`` otherwise): the trace DB path,
+    #: spans flushed and counter totals — the same numbers
+    #: ``python -m repro.trace summary`` reads back from that DB.
+    trace: Dict[str, object] = field(default_factory=dict)
 
     @property
     def cache_hit_rate(self) -> float:
@@ -213,6 +219,14 @@ class CampaignRunner:
         jobs instead of re-enqueuing them; the campaign then converges to
         the identical final result.  Requires ``stream_dir``; with no
         checkpoint on disk the campaign simply starts fresh.
+    trace_dir:
+        Enable span-based tracing (:mod:`repro.trace`): a
+        :class:`~repro.trace.collect.TraceCollector` is installed for the
+        duration of the run and drains campaign/suite/wave/stage/eval
+        spans plus counters into ``<trace_dir>/trace.db``, which
+        ``python -m repro.trace`` renders as dashboards.  May be the same
+        directory as ``stream_dir`` — the DB then sits next to the event
+        journal.  Untraced runs keep the no-op tracer and pay nothing.
     gc_max_age:
         When set, a post-campaign janitor pass evicts store entries not
         written or read for this many seconds.
@@ -236,6 +250,7 @@ class CampaignRunner:
         store_tier: bool = False,
         stream_dir: Optional[Path] = None,
         resume: bool = False,
+        trace_dir: Optional[Path] = None,
     ) -> None:
         if store_url is not None and (cache_dir is not None or artifact_dir is not None):
             raise ValueError(
@@ -248,8 +263,11 @@ class CampaignRunner:
         self.spec = spec
         self.stream_dir = Path(stream_dir) if stream_dir is not None else None
         self.resume = resume
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         #: Facts of the last streamed run (``None`` outside stream mode).
         self.stream_summary: Optional[Dict[str, object]] = None
+        #: Facts of the last traced run (``None`` outside trace mode).
+        self.trace_summary: Optional[Dict[str, object]] = None
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.artifact_dir = Path(artifact_dir) if artifact_dir is not None else None
         self.store_shards = store_shards
@@ -288,11 +306,30 @@ class CampaignRunner:
         """Default profile provider: the store-backed mapping pipeline."""
         return self.pipeline.profiles_for(kernels)
 
+    @staticmethod
+    def _suite_observer(collector, stream, suite_name: str):
+        """The engine's single observer slot: tracing and/or streaming."""
+        stream_observer = stream.suite_observer(suite_name) if stream is not None else None
+        if collector is None:
+            return stream_observer
+        from repro.trace.collect import compose_observers
+
+        return compose_observers(collector.observer(suite_name), stream_observer)
+
     def run(self) -> Tuple[CampaignReport, Dict[str, ExplorationResult]]:
         """Run every suite; returns the report and per-suite exploration results."""
         stream: Optional[CampaignStreamController] = None
         prefetcher: Optional[AsyncPrefetcher] = None
         artifact_prefetcher: Optional[AsyncPrefetcher] = None
+        collector = None
+        if self.trace_dir is not None:
+            # Imported here, not at module scope: repro.trace.collect
+            # subclasses this package's WaveObserver, so a module-level
+            # import would be circular.
+            from repro.trace.collect import TraceCollector
+
+            collector = TraceCollector(self.trace_dir, campaign=self.spec.name)
+            collector.install()
         if self.stream_dir is not None:
             stream = CampaignStreamController(self.stream_dir, self.spec, resume=self.resume)
             prefetcher = AsyncPrefetcher()
@@ -301,7 +338,7 @@ class CampaignRunner:
             # engine's wave-0 cache prefetch.
             artifact_prefetcher = AsyncPrefetcher(name="artifact-prefetcher")
         try:
-            return self._run(stream, prefetcher, artifact_prefetcher)
+            return self._run(stream, prefetcher, artifact_prefetcher, collector)
         finally:
             if prefetcher is not None:
                 prefetcher.close()
@@ -310,12 +347,16 @@ class CampaignRunner:
             if stream is not None:
                 self.stream_summary = stream.summary()
                 stream.close()
+            if collector is not None:
+                collector.uninstall()
+                self.trace_summary = collector.close()
 
     def _run(
         self,
         stream: Optional[CampaignStreamController],
         prefetcher: Optional[AsyncPrefetcher],
         artifact_prefetcher: Optional[AsyncPrefetcher],
+        collector=None,
     ) -> Tuple[CampaignReport, Dict[str, ExplorationResult]]:
         started = time.perf_counter()
         config = ExecutorConfig(
@@ -335,6 +376,16 @@ class CampaignRunner:
         store_misses_before = store_stats.misses
         if stream is not None:
             stream.campaign_started()
+        campaign_span = None
+        if collector is not None:
+            campaign_span = collector.tracer.span(
+                self.spec.name,
+                kind="campaign",
+                backend=config.resolved_backend,
+                workers=config.workers,
+                suites=len(self.spec.suites),
+                candidates=len(candidates),
+            )
 
         artifact_prefetch = None
         for suite_position, suite_name in enumerate(self.spec.suites):
@@ -347,11 +398,24 @@ class CampaignRunner:
             stage_snapshot = self.pipeline.stats.snapshot()
             store_suite_hits = store_stats.hits
             store_suite_misses = store_stats.misses
+            suite_span = None
+            if collector is not None:
+                suite_span = collector.tracer.span(
+                    suite_name, kind="suite", suite=suite_name
+                )
             profile_started = time.perf_counter()
             kernels = suite_kernels(suite_name)
             profiles = self.profile_provider(suite_name, kernels)
             profile_seconds = time.perf_counter() - profile_started
             stage_delta = self.pipeline.stats.since(stage_snapshot)
+            if collector is not None:
+                collector.tracer.record_span(
+                    "profiles",
+                    kind="span",
+                    duration_s=profile_seconds,
+                    suite=suite_name,
+                    kernels=len(kernels),
+                )
 
             if artifact_prefetcher is not None and suite_position + 1 < len(self.spec.suites):
                 # While this suite's waves evaluate, pull the next suite's
@@ -396,7 +460,7 @@ class CampaignRunner:
                 completed_records=(
                     stream.completed_records(suite_name) if stream is not None else None
                 ),
-                observer=stream.suite_observer(suite_name) if stream is not None else None,
+                observer=self._suite_observer(collector, stream, suite_name),
                 prefetcher=prefetcher,
             )
             exploration = outcome.result
@@ -438,6 +502,16 @@ class CampaignRunner:
             totals.early_rejected += stats.early_rejected
             totals.checkpoint_hits += stats.checkpoint_hits
             totals.waves += stats.waves
+            if suite_span is not None:
+                suite_span.set("kernels", len(kernels))
+                suite_span.set("candidates", len(candidates))
+                suite_span.set("waves", stats.waves)
+                suite_span.set("feasible", len(exploration.feasible))
+                suite_span.set("pareto", len(exploration.pareto))
+                suite_span.end()
+                # One batched SQLite transaction per suite keeps the DB
+                # current for a live dashboard without per-span writes.
+                collector.flush()
 
         if prefetcher is not None:
             prefetcher.drain()
@@ -451,6 +525,14 @@ class CampaignRunner:
         janitor_block: Optional[Dict[str, object]] = None
         if self.compact or self.gc_max_age is not None:
             janitor_block = self._run_janitors(caches)
+
+        trace_block: Dict[str, object] = {}
+        if collector is not None:
+            if campaign_span is not None:
+                campaign_span.set("jobs", totals.total_jobs)
+                campaign_span.set("waves", totals.waves)
+                campaign_span.end()
+            trace_block = collector.summary()
 
         run_delta = self.pipeline.stats.since(run_snapshot)
         artifact_directory = self.pipeline.store.directory
@@ -473,6 +555,8 @@ class CampaignRunner:
             mapping_seconds=sum(delta.seconds for delta in run_delta.values()),
             mapping_stages=stage_timings_as_dict(run_delta),
             store_stats=self._store_stats_block(caches, janitor_block),
+            waves=totals.waves,
+            trace=trace_block,
         )
         if stream is not None:
             stream.campaign_finished(checkpoint_hits=totals.checkpoint_hits)

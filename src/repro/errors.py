@@ -70,3 +70,7 @@ class CostModelError(ReproError):
 
 class TimingModelError(ReproError):
     """Raised when the timing model receives invalid parameters."""
+
+
+class TraceError(ReproError):
+    """Raised when the tracing subsystem is misused or a trace DB is invalid."""

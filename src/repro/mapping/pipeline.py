@@ -30,9 +30,9 @@ changed kernel body changes the DFG, the fingerprint and every key.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Dict, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.config_cache import ConfigurationContext
 from repro.arch.template import ArchitectureSpec, base_architecture
@@ -45,6 +45,8 @@ from repro.mapping.loop_pipelining import LoopPipeliningScheduler
 from repro.mapping.profile import extract_profile
 from repro.mapping.rearrange import RearrangementResult, rearrange_schedule
 from repro.mapping.schedule import Schedule
+from repro.trace.db import percentile
+from repro.trace.spans import get_tracer
 from repro.utils.serialization import content_hash
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
@@ -166,12 +168,15 @@ def stage_key(stage: str, **inputs: object) -> str:
 # ----------------------------------------------------------------------
 @dataclass
 class StageTiming:
-    """Hit/miss counters and wall time of one stage."""
+    """Hit/miss counters, wall time and duration samples of one stage."""
 
     stage: str
     hits: int = 0
     misses: int = 0
     seconds: float = 0.0
+    #: Individual invocation durations (hit fetches and miss computes
+    #: alike) — the sample behind the report's per-stage p50/p95.
+    durations: List[float] = field(default_factory=list)
 
     @property
     def lookups(self) -> int:
@@ -196,6 +201,13 @@ class PipelineStats:
         else:
             timing.misses += 1
         timing.seconds += seconds
+        timing.durations.append(seconds)
+        # Single choke point for stage observability: every pipeline path
+        # funnels through here, so span counts always equal hit + miss
+        # counts and ``python -m repro.trace stages`` matches the report.
+        tracer = get_tracer()
+        if tracer.active:
+            tracer.record_span(stage, kind="stage", duration_s=seconds, hit=hit)
 
     @property
     def total_hits(self) -> int:
@@ -209,23 +221,30 @@ class PipelineStats:
     def total_seconds(self) -> float:
         return sum(timing.seconds for timing in self.stages.values())
 
-    def snapshot(self) -> Dict[str, Tuple[int, int, float]]:
+    def snapshot(self) -> Dict[str, Tuple[int, int, float, int]]:
         """Freeze the current counters (used to compute per-suite deltas)."""
         return {
-            name: (timing.hits, timing.misses, timing.seconds)
+            name: (timing.hits, timing.misses, timing.seconds, len(timing.durations))
             for name, timing in self.stages.items()
         }
 
-    def since(self, snapshot: Dict[str, Tuple[int, int, float]]) -> Dict[str, StageTiming]:
-        """Counters accumulated after ``snapshot`` was taken."""
+    def since(self, snapshot: Dict[str, Tuple]) -> Dict[str, StageTiming]:
+        """Counters accumulated after ``snapshot`` was taken.
+
+        Accepts legacy 3-tuple snapshots (pre-duration-sample) as well:
+        their deltas then carry the full sample list.
+        """
         deltas: Dict[str, StageTiming] = {}
         for name, timing in self.stages.items():
-            hits, misses, seconds = snapshot.get(name, (0, 0, 0.0))
+            frozen = snapshot.get(name, (0, 0, 0.0))
+            hits, misses, seconds = frozen[0], frozen[1], frozen[2]
+            seen = frozen[3] if len(frozen) > 3 else 0
             delta = StageTiming(
                 stage=name,
                 hits=timing.hits - hits,
                 misses=timing.misses - misses,
                 seconds=timing.seconds - seconds,
+                durations=list(timing.durations[seen:]),
             )
             if delta.lookups or delta.seconds:
                 deltas[name] = delta
@@ -237,7 +256,12 @@ class PipelineStats:
 
 
 def stage_timings_as_dict(timings: Dict[str, StageTiming]) -> Dict[str, Dict[str, float]]:
-    """JSON-friendly form of a per-stage timing delta map."""
+    """JSON-friendly form of a per-stage timing delta map.
+
+    ``p50``/``p95`` come from the per-invocation duration samples through
+    :func:`repro.trace.db.percentile` — the same function the trace
+    dashboard applies to stage spans, so both views always agree.
+    """
     ordered = [name for name in STAGE_NAMES if name in timings]
     ordered += [name for name in timings if name not in STAGE_NAMES]
     return {
@@ -245,6 +269,8 @@ def stage_timings_as_dict(timings: Dict[str, StageTiming]) -> Dict[str, Dict[str
             "hits": timings[name].hits,
             "misses": timings[name].misses,
             "seconds": round(timings[name].seconds, 6),
+            "p50": round(percentile(timings[name].durations, 0.50), 6),
+            "p95": round(percentile(timings[name].durations, 0.95), 6),
         }
         for name in ordered
     }

@@ -16,6 +16,7 @@ payloads with ``415``.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -52,6 +53,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="shard count of the served backend (default: 1)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="record one service.request span per handled request into "
+        "DIR/trace.db (inspect with python -m repro.trace slow DIR "
+        "--kind request)",
+    )
     parser.add_argument("--quiet", action="store_true", help="suppress the startup banner")
     return parser
 
@@ -66,19 +76,38 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend = ShardedJsonlBackend(args.root / "records.jsonl", num_shards=args.store_shards)
     else:
         backend = PickleDirBackend(args.root, num_shards=args.store_shards)
-    server = StoreServer(backend, host=args.host, port=args.port)
+    collector = None
+    access_log = None
+    if args.trace is not None:
+        from repro.trace.collect import TraceCollector
+
+        collector = TraceCollector(args.trace, campaign="repro.service").install()
+        # Flush opportunistically from the request path: a long-lived
+        # service otherwise buffers spans forever.
+        access_log = lambda *event: collector.maybe_flush(64)  # noqa: E731
+    server = StoreServer(backend, host=args.host, port=args.port, access_log=access_log)
     if not args.quiet:
         print(
             f"repro store service: {args.backend} backend on {args.root} "
             f"({args.store_shards} shard(s)) at {server.url}",
             flush=True,
         )
+    # SIGTERM (systemd, docker stop, CI teardown) must drain the trace
+    # buffer like Ctrl-C does, not kill the process mid-flush.
+    def _terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous_term = signal.signal(signal.SIGTERM, _terminate)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        signal.signal(signal.SIGTERM, previous_term)
         server.httpd.server_close()
+        if collector is not None:
+            collector.uninstall()
+            collector.close()
     return 0
 
 

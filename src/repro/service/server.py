@@ -45,6 +45,7 @@ from urllib.parse import parse_qs, unquote, urlsplit
 
 from repro.store.backend import StoreBackend
 from repro.store.janitor import StoreJanitor
+from repro.trace.spans import STATUS_ERROR, STATUS_OK, get_tracer
 from repro.store.wire import (
     JSON_CONTENT_TYPE,
     WireError,
@@ -57,6 +58,19 @@ from repro.store.wire import (
 
 _ITEM_ROUTE = re.compile(r"^/ns/([^/]*)/k/([^/]+)$")
 _BATCH_ROUTE = re.compile(r"^/ns/([^/]*)/(mget|mput)$")
+
+
+def _endpoint_label(raw_path: str) -> str:
+    """Coarse endpoint name of a request path (access log / trace spans)."""
+    path = urlsplit(raw_path).path
+    if _ITEM_ROUTE.match(path):
+        return "item"
+    batch = _BATCH_ROUTE.match(path)
+    if batch:
+        return batch.group(2)
+    if path in ("/healthz", "/stats", "/scan", "/janitor"):
+        return path[1:]
+    return "other"
 
 #: Largest request body the server accepts (a campaign wave of evaluation
 #: records is a few hundred KB; artifacts run to a few MB).
@@ -72,10 +86,18 @@ class _HTTPError(Exception):
 
 
 class StoreService:
-    """The backend, its lock, and the request counters — handler-agnostic."""
+    """The backend, its lock, and the request counters — handler-agnostic.
 
-    def __init__(self, backend: StoreBackend) -> None:
+    ``access_log`` is an optional per-request hook receiving
+    ``(method, endpoint, status, seconds)`` after every dispatched request
+    (exceptions it raises are swallowed — observability must never take
+    the service down).  The same observations are mirrored into the
+    installed tracer as ``service.request`` spans when tracing is on.
+    """
+
+    def __init__(self, backend: StoreBackend, access_log=None) -> None:
         self.backend = backend
+        self.access_log = access_log
         self.lock = threading.RLock()
         self.started = time.time()
         self.requests: Dict[str, int] = {}
@@ -83,6 +105,25 @@ class StoreService:
     def count(self, endpoint: str) -> None:
         with self.lock:
             self.requests[endpoint] = self.requests.get(endpoint, 0) + 1
+
+    def observe(self, method: str, endpoint: str, status: int, seconds: float) -> None:
+        """One dispatched request: feed the tracer and the access log."""
+        tracer = get_tracer()
+        if tracer.active:
+            tracer.record_span(
+                "service.request",
+                kind="request",
+                duration_s=seconds,
+                status=STATUS_ERROR if status >= 500 else STATUS_OK,
+                method=method,
+                endpoint=endpoint,
+                http_status=status,
+            )
+        if self.access_log is not None:
+            try:
+                self.access_log(method, endpoint, status, seconds)
+            except Exception:
+                pass
 
     def stats_document(self) -> dict:
         with self.lock:
@@ -111,6 +152,9 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
     disable_nagle_algorithm = True
     #: Bound to the owning server's service by :class:`StoreServer`.
     service: StoreService
+    #: Status of the response most recently written by :meth:`_send`
+    #: (reset per dispatch; 0 when the client vanished before a response).
+    last_status: int = 0
 
     # BaseHTTPRequestHandler logs every request to stderr by default;
     # a store service handling one wave per second would drown a terminal.
@@ -128,6 +172,7 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
         etag: Optional[str] = None,
         head_only: bool = False,
     ) -> None:
+        self.last_status = status
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
@@ -172,6 +217,8 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str) -> None:
         head_only = method == "HEAD"
+        self.last_status = 0
+        started = time.perf_counter()
         try:
             self._route(method)
         except _HTTPError as error:
@@ -180,6 +227,13 @@ class StoreRequestHandler(BaseHTTPRequestHandler):
             pass
         except Exception as error:  # backend failures map to 500
             self._send_error_json(500, f"{type(error).__name__}: {error}", head_only=head_only)
+        finally:
+            self.service.observe(
+                method,
+                _endpoint_label(self.path),
+                self.last_status,
+                time.perf_counter() - started,
+            )
 
     # ------------------------------------------------------------------
     # Routing
@@ -363,8 +417,14 @@ class StoreServer:
     point).
     """
 
-    def __init__(self, backend: StoreBackend, host: str = "127.0.0.1", port: int = 0) -> None:
-        self.service = StoreService(backend)
+    def __init__(
+        self,
+        backend: StoreBackend,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        access_log=None,
+    ) -> None:
+        self.service = StoreService(backend, access_log=access_log)
         handler = type(
             "BoundStoreRequestHandler", (StoreRequestHandler,), {"service": self.service}
         )

@@ -52,6 +52,7 @@ from repro.store.wire import (
     encode_cell,
     encode_value,
 )
+from repro.trace.spans import STATUS_ERROR, STATUS_OK, get_tracer
 
 #: Transport-level failures that trigger a retry (and eventually the
 #: degraded mode).  HTTP error *statuses* are not in this set — a 404 is
@@ -86,6 +87,21 @@ class _NoDelayHTTPConnection(http.client.HTTPConnection):
 def _quote(component: str) -> str:
     """Path-segment quoting: empty namespaces and odd characters survive."""
     return quote(component, safe="")
+
+
+def _endpoint_of(path: str) -> str:
+    """Coarse endpoint label of a request path (for trace spans).
+
+    Keys and namespaces are stripped so all item traffic aggregates under
+    one name instead of one span-name per key.
+    """
+    path = path.split("?", 1)[0]
+    if "/k/" in path:
+        return "item"
+    for endpoint in ("mget", "mput", "scan", "janitor", "healthz", "stats"):
+        if path.endswith("/" + endpoint) or path == "/" + endpoint:
+            return endpoint
+    return "other"
 
 
 class RemoteBackend(StoreBackend):
@@ -196,6 +212,8 @@ class RemoteBackend(StoreBackend):
         """
         if self.offline:
             raise StoreServiceError(f"store service {self.url} is offline (degraded mode)")
+        tracer = get_tracer()
+        started = time.perf_counter() if tracer.active else 0.0
         headers = {"Connection": "keep-alive"}
         if content_type is not None:
             headers["Content-Type"] = content_type
@@ -216,7 +234,29 @@ class RemoteBackend(StoreBackend):
             self.requests += 1
             self._offline_until = None
             response_headers = {name.lower(): value for name, value in response.getheaders()}
+            if tracer.active:
+                tracer.record_span(
+                    "store.request",
+                    kind="request",
+                    duration_s=time.perf_counter() - started,
+                    status=STATUS_ERROR if response.status >= 500 else STATUS_OK,
+                    method=method,
+                    endpoint=_endpoint_of(path),
+                    http_status=response.status,
+                    attempts=attempt + 1,
+                )
             return response.status, response_headers, payload
+        if tracer.active:
+            tracer.record_span(
+                "store.request",
+                kind="request",
+                duration_s=time.perf_counter() - started,
+                status=STATUS_ERROR,
+                method=method,
+                endpoint=_endpoint_of(path),
+                attempts=self.retries + 1,
+                error=type(last_error).__name__ if last_error is not None else None,
+            )
         if not self.strict:
             self._offline_until = self._clock() + self.offline_grace
             self.offline_trips += 1

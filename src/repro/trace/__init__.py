@@ -1,0 +1,52 @@
+"""Span-based tracing: thread-safe spans, a SQLite trace DB, a dashboard.
+
+``repro.trace`` is the repo's cross-cutting observability layer.  The
+engine, the mapping pipeline and the store layers all call
+:func:`get_tracer` at their choke points; with the default
+:class:`NullTracer` installed those calls are no-ops, and a traced run
+(``CampaignRunner(trace_dir=...)`` / ``python -m repro.engine --trace``)
+swaps in a real :class:`Tracer` whose buffer drains into a ``trace.db``
+queryable with ``python -m repro.trace summary|tail|slow|stages|export``.
+
+The adapters binding the tracer to the engine's seams live in
+:mod:`repro.trace.collect` (imported on demand — it pulls in the engine,
+which this package must not do at import time).
+"""
+
+from repro.trace.db import (
+    SCHEMA_VERSION,
+    TRACE_DB_FILENAME,
+    TraceDB,
+    duration_summary,
+    percentile,
+)
+from repro.trace.spans import (
+    NULL_SPAN,
+    SPAN_KINDS,
+    STATUS_ERROR,
+    STATUS_OK,
+    NullTracer,
+    Span,
+    TraceBatch,
+    Tracer,
+    get_tracer,
+    set_tracer,
+)
+
+__all__ = [
+    "NULL_SPAN",
+    "SPAN_KINDS",
+    "STATUS_ERROR",
+    "STATUS_OK",
+    "SCHEMA_VERSION",
+    "TRACE_DB_FILENAME",
+    "NullTracer",
+    "Span",
+    "TraceBatch",
+    "TraceDB",
+    "Tracer",
+    "duration_summary",
+    "get_tracer",
+    "percentile",
+    "set_tracer",
+]

@@ -1,0 +1,429 @@
+"""Adapters wiring the tracer into the repo's existing seams.
+
+Nothing in here computes anything new — each adapter stands at a place
+the engine already passes through and mirrors what it sees into the
+installed tracer:
+
+* :class:`TracingWaveObserver` — a :class:`~repro.engine.executor.WaveObserver`
+  that opens one span per evaluation wave and folds results into the
+  campaign counters (``wave.count``, ``result.count``,
+  ``result.source.*``, ``result.feasible``, ``frontier.updates``);
+* :func:`compose_observers` — lets the tracing observer ride alongside
+  the streaming mode's journal observer on the engine's single observer
+  slot;
+* :class:`TraceCollector` — owns the live :class:`~repro.trace.spans.Tracer`
+  and the :class:`~repro.trace.db.TraceDB` it drains into; the campaign
+  runner installs it for the duration of a traced run;
+* :func:`import_event_log` — backfills an existing ``events.jsonl``
+  journal into a trace DB (wave spans from start/end timestamp pairs,
+  counters from result/frontier events), so pre-trace campaigns are
+  queryable with the same dashboard;
+* :func:`open_trace` — resolves a CLI target (a ``trace.db``, a stream
+  directory, or a bare event journal) into a queryable :class:`TraceDB`.
+
+The per-stage spans, store counters and request spans live directly in
+:mod:`repro.mapping.pipeline`, :mod:`repro.engine.cache`,
+:mod:`repro.engine.artifacts`, :mod:`repro.store.remote` and
+:mod:`repro.service.server` — each calls :func:`~repro.trace.spans.get_tracer`
+at its own choke point.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.engine.executor import WaveObserver, WaveOutcome
+from repro.engine.frontier import ParetoFrontier
+from repro.engine.stream import EVENTS_FILENAME, EventLog
+from repro.errors import TraceError
+from repro.trace.db import TRACE_DB_FILENAME, TraceDB
+from repro.trace.spans import Span, Tracer, set_tracer
+
+
+# ----------------------------------------------------------------------
+# Wave observation
+# ----------------------------------------------------------------------
+class TracingWaveObserver(WaveObserver):
+    """Mirrors one suite's waves into spans and counters.
+
+    The observer keeps its own feasible-point frontier (the same
+    incremental :class:`~repro.engine.frontier.ParetoFrontier` the
+    streaming journal uses) so ``frontier.updates`` counts genuine front
+    insertions, not merely feasible results.
+    """
+
+    def __init__(self, tracer: Tracer, suite: str) -> None:
+        self.tracer = tracer
+        self.suite = suite
+        self.frontier = ParetoFrontier(num_objectives=2)
+        self._open: Dict[int, Span] = {}
+        self._sources: Dict[str, int] = {}
+        self._feasible = 0
+
+    def _count_result(self, evaluation, source: str, feasible) -> int:
+        """Fold one result into local tallies; 1 if it moved the frontier."""
+        self._sources[source] = self._sources.get(source, 0) + 1
+        if not feasible:
+            return 0
+        self._feasible += 1
+        vector = (evaluation.area_slices, evaluation.total_execution_time_ns)
+        return 1 if self.frontier.add(vector) else 0
+
+    def _emit_counts(self, results: int, frontier_updates: int) -> None:
+        """Ship the tallies accumulated since the previous emit (one lock
+        round per counter name instead of one per result — the observer
+        sits on the engine's wave hot path)."""
+        tracer = self.tracer
+        if results:
+            tracer.counter("result.count", float(results))
+        for source, count in self._sources.items():
+            tracer.counter(f"result.source.{source}", float(count))
+        self._sources.clear()
+        if self._feasible:
+            tracer.counter("result.feasible", float(self._feasible))
+            self._feasible = 0
+        if frontier_updates:
+            tracer.counter("frontier.updates", float(frontier_updates))
+
+    def base_evaluated(self, key, evaluation, source, feasible) -> None:
+        self._emit_counts(1, self._count_result(evaluation, source, feasible))
+
+    def wave_started(self, wave_index: int, job_count: int) -> None:
+        self._open[wave_index] = self.tracer.span(
+            "wave", kind="wave", suite=self.suite, wave=wave_index, jobs=job_count
+        )
+
+    def wave_finished(self, outcome: WaveOutcome) -> None:
+        self.tracer.counter("wave.count")
+        frontier_updates = 0
+        for result in outcome.results:
+            frontier_updates += self._count_result(
+                result.evaluation, result.source, result.feasible
+            )
+        self._emit_counts(len(outcome.results), frontier_updates)
+        if outcome.rejected:
+            self.tracer.counter("result.rejected", float(len(outcome.rejected)))
+        span = self._open.pop(outcome.wave_index, None)
+        if span is not None:
+            span.set("results", len(outcome.results))
+            span.set("rejected", len(outcome.rejected))
+            span.set("frontier_size", len(self.frontier))
+            span.end()
+
+
+class MultiWaveObserver(WaveObserver):
+    """Fans every wave callback out to several observers, in order."""
+
+    def __init__(self, observers) -> None:
+        self.observers: Tuple[WaveObserver, ...] = tuple(observers)
+
+    def wave_started(self, wave_index: int, job_count: int) -> None:
+        for observer in self.observers:
+            observer.wave_started(wave_index, job_count)
+
+    def wave_finished(self, outcome: WaveOutcome) -> None:
+        for observer in self.observers:
+            observer.wave_finished(outcome)
+
+    def base_evaluated(self, key, evaluation, source, feasible) -> None:
+        for observer in self.observers:
+            observer.base_evaluated(key, evaluation, source, feasible)
+
+
+def compose_observers(*observers: Optional[WaveObserver]) -> Optional[WaveObserver]:
+    """One observer driving all non-``None`` arguments (``None`` when empty).
+
+    This is how a traced *and* streamed campaign fits the engine's single
+    observer slot: the tracing observer and the journal observer each see
+    every wave, without either knowing about the other.
+    """
+    active = [observer for observer in observers if observer is not None]
+    if not active:
+        return None
+    if len(active) == 1:
+        return active[0]
+    return MultiWaveObserver(active)
+
+
+# ----------------------------------------------------------------------
+# The collector: one tracer, one DB, one traced run
+# ----------------------------------------------------------------------
+class TraceCollector:
+    """Owns the live tracer of one traced run and drains it into a DB.
+
+    Parameters
+    ----------
+    directory:
+        Trace directory; the DB lands at ``<directory>/trace.db`` (next
+        to a stream directory's ``events.jsonl`` when they coincide).
+    db_path:
+        Explicit database file instead of a directory.
+    campaign:
+        Optional campaign name stamped into the DB's ``meta`` table.
+
+    The collector's tracer buffers in memory; :meth:`flush` moves the
+    buffer into SQLite in one batched transaction.  Only the creating
+    process ever writes (forked workers ship their spans back through
+    the pool — see :mod:`repro.trace.spans`).
+    """
+
+    def __init__(
+        self,
+        directory: Optional[Union[str, Path]] = None,
+        db_path: Optional[Union[str, Path]] = None,
+        campaign: Optional[str] = None,
+    ) -> None:
+        if (directory is None) == (db_path is None):
+            raise TraceError("pass exactly one of directory= or db_path=")
+        path = Path(directory) / TRACE_DB_FILENAME if directory is not None else Path(db_path)
+        self.db = TraceDB(path)
+        self.tracer = Tracer()
+        self.campaign = campaign
+        if campaign is not None:
+            self.db.set_meta("campaign", campaign)
+        self.spans_flushed = 0
+        self.counter_totals: Dict[str, float] = {}
+        self._previous = None
+        self._installed = False
+        self._closed = False
+        self.summary_cache: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Global installation
+    # ------------------------------------------------------------------
+    def install(self) -> "TraceCollector":
+        """Make this collector's tracer the process-wide tracer."""
+        if not self._installed:
+            self._previous = set_tracer(self.tracer)
+            self._installed = True
+        return self
+
+    def uninstall(self) -> None:
+        """Restore whatever tracer was installed before :meth:`install`."""
+        if self._installed:
+            set_tracer(self._previous)
+            self._previous = None
+            self._installed = False
+
+    def observer(self, suite: str) -> TracingWaveObserver:
+        """A wave observer mirroring ``suite`` into this collector."""
+        return TracingWaveObserver(self.tracer, suite)
+
+    # ------------------------------------------------------------------
+    # Draining
+    # ------------------------------------------------------------------
+    def flush(self) -> int:
+        """Drain the tracer into the DB; returns the spans written."""
+        batch = self.tracer.drain()
+        written = 0
+        if batch.spans:
+            written = self.db.insert_spans(batch.spans)
+            self.spans_flushed += written
+        if batch.counters:
+            self.db.add_counters(batch.counters)
+            for name, value in batch.counters.items():
+                self.counter_totals[name] = self.counter_totals.get(name, 0.0) + value
+        if batch.annotations:
+            self.db.insert_annotations(batch.annotations)
+        return written
+
+    def maybe_flush(self, threshold: int = 256) -> int:
+        """Flush only once ``threshold`` spans are buffered (long-lived hosts)."""
+        if self.tracer.pending >= threshold:
+            return self.flush()
+        return 0
+
+    def summary(self) -> Dict[str, object]:
+        """Flush, then report what this run traced (the report's ``trace`` block)."""
+        self.flush()
+        return {
+            "db": str(self.db.path),
+            "spans": self.spans_flushed,
+            "counters": {
+                name: int(value) if float(value).is_integer() else value
+                for name, value in sorted(self.counter_totals.items())
+            },
+        }
+
+    def close(self) -> Dict[str, object]:
+        """Final flush + WAL checkpoint; returns the :meth:`summary` facts."""
+        if self._closed:
+            return self.summary_cache
+        facts = self.summary()
+        self.summary_cache = facts
+        self.db.flush_wal()
+        self.db.close()
+        self._closed = True
+        return facts
+
+    def __enter__(self) -> "TraceCollector":
+        return self.install()
+
+    def __exit__(self, *exc_info) -> None:
+        self.uninstall()
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# EventLog backfill
+# ----------------------------------------------------------------------
+def import_event_log(
+    source: Union[str, Path], db: Optional[TraceDB] = None
+) -> Tuple[TraceDB, Dict[str, int]]:
+    """Backfill an ``events.jsonl`` journal into a trace DB.
+
+    Wave spans are rebuilt from ``wave_start``/``wave_end`` timestamp
+    pairs (wall-clock deltas — the journal carries no monotonic clock),
+    campaign spans from ``campaign_start``/``campaign_end``, and the
+    counters from ``result`` and ``frontier_update`` events — the same
+    counter names a live :class:`TracingWaveObserver` emits, so wave and
+    result counts round-trip exactly between a journal and its backfill.
+
+    Returns ``(db, facts)`` where ``facts`` has ``events``/``spans``/
+    ``waves``/``results`` counts.  ``db`` defaults to a fresh in-memory
+    database (what the dashboard CLI uses for journal targets).
+    """
+    path = Path(source)
+    if path.is_dir():
+        path = path / EVENTS_FILENAME
+    events = EventLog.read(path)
+    if db is None:
+        db = TraceDB()
+
+    spans: List[dict] = []
+    counters: Dict[str, float] = {}
+
+    def bump(name: str, value: float = 1.0) -> None:
+        counters[name] = counters.get(name, 0.0) + value
+
+    def span_record(
+        sequence: int,
+        name: str,
+        kind: str,
+        start_ts: float,
+        end_ts: float,
+        parent_id: Optional[str],
+        attrs: Dict[str, Any],
+    ) -> dict:
+        return {
+            "span_id": f"evt-{sequence:x}",
+            "parent_id": parent_id,
+            "name": name,
+            "kind": kind,
+            "start_ts": start_ts,
+            "duration_s": max(0.0, end_ts - start_ts),
+            "status": "ok",
+            "pid": None,
+            "thread": None,
+            "attrs": attrs,
+        }
+
+    open_campaign: Optional[Tuple[int, float, dict]] = None
+    open_waves: Dict[Tuple[str, int], Tuple[int, float, int]] = {}
+    for event in events:
+        data = event.data
+        if event.type == "campaign_start":
+            open_campaign = (event.sequence, event.timestamp, data)
+        elif event.type == "campaign_end":
+            if open_campaign is not None:
+                sequence, started, start_data = open_campaign
+                spans.append(
+                    span_record(
+                        sequence,
+                        str(start_data.get("campaign") or data.get("campaign") or "campaign"),
+                        "campaign",
+                        started,
+                        event.timestamp,
+                        None,
+                        {
+                            "suites": start_data.get("suites", []),
+                            "resumed": bool(data.get("resumed", False)),
+                            "waves": data.get("waves"),
+                        },
+                    )
+                )
+                open_campaign = None
+        elif event.type == "wave_start":
+            suite = str(data.get("suite"))
+            wave = int(data.get("wave", 0))
+            open_waves[(suite, wave)] = (
+                event.sequence,
+                event.timestamp,
+                int(data.get("jobs", 0)),
+            )
+        elif event.type == "wave_end":
+            suite = str(data.get("suite"))
+            wave = int(data.get("wave", 0))
+            opened = open_waves.pop((suite, wave), None)
+            if opened is None:
+                continue
+            sequence, started, jobs = opened
+            parent = f"evt-{open_campaign[0]:x}" if open_campaign is not None else None
+            spans.append(
+                span_record(
+                    sequence,
+                    "wave",
+                    "wave",
+                    started,
+                    event.timestamp,
+                    parent,
+                    {
+                        "suite": suite,
+                        "wave": wave,
+                        "jobs": jobs,
+                        "results": int(data.get("results", 0)),
+                        "rejected": int(data.get("rejected", 0)),
+                        "frontier_size": int(data.get("frontier_size", 0)),
+                    },
+                )
+            )
+            bump("wave.count")
+        elif event.type == "result":
+            bump("result.count")
+            source = data.get("source")
+            if isinstance(source, str) and source:
+                bump(f"result.source.{source}")
+            if data.get("feasible"):
+                bump("result.feasible")
+        elif event.type == "frontier_update":
+            bump("frontier.updates")
+
+    db.insert_spans(spans)
+    db.add_counters(counters)
+    db.set_meta("imported_from", str(path))
+    facts = {
+        "events": len(events),
+        "spans": len(spans),
+        "waves": int(counters.get("wave.count", 0)),
+        "results": int(counters.get("result.count", 0)),
+    }
+    return db, facts
+
+
+def open_trace(target: Union[str, Path]) -> TraceDB:
+    """Resolve a dashboard target into a queryable :class:`TraceDB`.
+
+    Accepts a ``trace.db`` file, a directory containing one (a trace or
+    stream directory), or a bare ``events.jsonl`` journal / a directory
+    holding only one — journals are imported into an in-memory DB on the
+    fly, so the dashboard works against pre-trace campaigns too.
+    """
+    path = Path(target)
+    if path.is_dir():
+        db_path = path / TRACE_DB_FILENAME
+        if db_path.is_file():
+            return TraceDB(db_path, readonly=True)
+        events_path = path / EVENTS_FILENAME
+        if events_path.is_file():
+            db, _ = import_event_log(events_path)
+            return db
+        raise TraceError(
+            f"{path} holds neither {TRACE_DB_FILENAME} nor {EVENTS_FILENAME}"
+        )
+    if path.is_file():
+        if path.suffix == ".db":
+            return TraceDB(path, readonly=True)
+        db, _ = import_event_log(path)
+        return db
+    raise TraceError(f"no trace database, directory or event journal at {path}")

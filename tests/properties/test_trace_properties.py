@@ -1,0 +1,146 @@
+"""Property tests for the trace layer: EventLog backfill round-trips.
+
+The backfill importer promises that a campaign journal and its trace-DB
+backfill agree on the counts the dashboard reports: every emitted wave
+becomes exactly one wave span and one ``wave.count`` increment, every
+``result`` event one ``result.count`` increment (with its source and
+feasibility mirrored), every ``frontier_update`` one ``frontier.updates``
+increment — regardless of how waves, results and suites interleave.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.engine.stream import EventLog
+from repro.trace.collect import import_event_log
+
+suite_names = st.sampled_from(["paper", "livermore", "dsp", "h264"])
+sources = st.sampled_from(["computed", "cache", "checkpoint"])
+
+#: One synthetic wave: (suite, [(source, feasible)...], frontier updates).
+waves = st.lists(
+    st.tuples(
+        suite_names,
+        st.lists(st.tuples(sources, st.booleans()), max_size=5),
+        st.integers(min_value=0, max_value=3),
+    ),
+    max_size=10,
+)
+
+
+@pytest.fixture()
+def journal_dir(tmp_path):
+    return tmp_path
+
+
+@settings(max_examples=40, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(waves=waves, complete=st.booleans())
+def test_backfill_round_trips_wave_and_result_counts(journal_dir, waves, complete):
+    path = Path(journal_dir) / "events.jsonl"
+    path.unlink(missing_ok=True)
+
+    expected_counters: dict = {}
+
+    def bump(name, value=1.0):
+        expected_counters[name] = expected_counters.get(name, 0.0) + value
+
+    with EventLog(path) as log:
+        log.emit("campaign_start", campaign="prop", suites=sorted({w[0] for w in waves}))
+        for wave_index, (suite, results, frontier_updates) in enumerate(waves):
+            log.emit("wave_start", suite=suite, wave=wave_index, jobs=len(results))
+            for result_index, (source, feasible) in enumerate(results):
+                log.emit(
+                    "result",
+                    suite=suite,
+                    wave=wave_index,
+                    key=f"k{wave_index}-{result_index}",
+                    label=f"cand-{result_index}",
+                    source=source,
+                    feasible=feasible,
+                    area_slices=float(result_index),
+                    execution_time_ns=float(wave_index),
+                )
+                bump("result.count")
+                bump(f"result.source.{source}")
+                if feasible:
+                    bump("result.feasible")
+            for update in range(frontier_updates):
+                log.emit(
+                    "frontier_update",
+                    suite=suite,
+                    key=f"k{wave_index}-{update}",
+                    vector=[float(update), float(wave_index)],
+                    size=update + 1,
+                )
+                bump("frontier.updates")
+            log.emit(
+                "wave_end",
+                suite=suite,
+                wave=wave_index,
+                results=len(results),
+                rejected=0,
+                frontier_size=frontier_updates,
+            )
+            bump("wave.count")
+        if complete:
+            log.emit("campaign_end", campaign="prop", waves=len(waves))
+
+    db, facts = import_event_log(path)
+    try:
+        assert facts["waves"] == len(waves)
+        assert facts["results"] == sum(len(results) for _, results, _ in waves)
+        # Every wave becomes exactly one span; the campaign span only
+        # exists when the journal saw the campaign complete.
+        assert db.span_count("wave") == len(waves)
+        assert db.span_count("campaign") == (1 if complete else 0)
+        assert facts["spans"] == len(waves) + (1 if complete else 0)
+        assert db.counters() == expected_counters
+        # Per-suite wave timelines partition the wave spans.
+        suites = {suite for suite, _, _ in waves}
+        assert sum(len(db.wave_timeline(suite)) for suite in suites) == len(waves)
+        for suite in suites:
+            timeline = db.wave_timeline(suite)
+            expected_jobs = {
+                index: len(results)
+                for index, (s, results, _) in enumerate(waves)
+                if s == suite
+            }
+            # Keyed by wave index — journal timestamps may tie, so the
+            # start-order of near-simultaneous waves is not asserted.
+            assert {
+                span["attrs"]["wave"]: span["attrs"]["jobs"] for span in timeline
+            } == expected_jobs
+            assert all(
+                span["attrs"]["results"] == span["attrs"]["jobs"] for span in timeline
+            )
+    finally:
+        db.close()
+
+
+@settings(max_examples=20, suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(waves=waves)
+def test_backfill_durations_are_nonnegative_and_ordered(journal_dir, waves):
+    path = Path(journal_dir) / "events.jsonl"
+    path.unlink(missing_ok=True)
+    with EventLog(path) as log:
+        log.emit("campaign_start", campaign="prop", suites=["dsp"])
+        for wave_index, (suite, results, _) in enumerate(waves):
+            log.emit("wave_start", suite=suite, wave=wave_index, jobs=len(results))
+            log.emit(
+                "wave_end", suite=suite, wave=wave_index, results=len(results), rejected=0
+            )
+        log.emit("campaign_end", campaign="prop")
+
+    db, _ = import_event_log(path)
+    try:
+        spans = db.spans()
+        assert all(span["duration_s"] >= 0.0 for span in spans)
+        starts = [span["start_ts"] for span in db.spans(kind="wave")]
+        assert starts == sorted(starts)
+    finally:
+        db.close()
