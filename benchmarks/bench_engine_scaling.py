@@ -64,7 +64,14 @@ def test_engine_scaling_on_enlarged_grid(paper_explorer, scaling_grid, tmp_path,
     explorer, grid = paper_explorer, scaling_grid
 
     # Reference: the seed-equivalent serial sweep (facade semantics).
-    serial, serial_seconds = timed_run(explorer, grid)
+    # batch=False keeps this the per-candidate scalar baseline every
+    # other configuration is compared against — the process backend
+    # never batches, so racing it against a vectorized serial run would
+    # compare worker fan-out to numpy, not to the seed.  The
+    # batch-vs-scalar comparison has its own gated test below.
+    serial, serial_seconds = timed_run(
+        explorer, grid, config=ExecutorConfig(batch=False)
+    )
     reference_selected = serial.result.selected.parameters
     reference_front = [e.parameters for e in serial.result.pareto]
 
@@ -155,8 +162,17 @@ def test_tracing_overhead_stays_under_five_percent(
 ):
     """The acceptance bar for the trace layer: tracing the full
     253-candidate sweep costs <5% wall clock, and the resulting DB
-    reproduces the run's wave/result/hit counts exactly."""
+    reproduces the run's wave/result/hit counts exactly.
+
+    Measured on the scalar path (``batch=False``): the per-span cost is
+    what's being bounded, so the denominator must be the per-candidate
+    sweep the ceiling was calibrated against — the vectorized path
+    shrinks the sweep ~7x while tracing cost stays fixed, which would
+    turn this into a (meaningless) bound on numpy's speedup instead.
+    The batch path's own tracing is one span per wave, strictly
+    cheaper."""
     explorer, grid = paper_explorer, scaling_grid
+    scalar = ExecutorConfig(batch=False)
 
     # One sweep is only a few hundred milliseconds, and scheduler
     # preemption inflates individual runs by 10-30% (measured CV ~9%)
@@ -175,13 +191,13 @@ def test_tracing_overhead_stays_under_five_percent(
     min_pairs, max_pairs, patience = 7, 25, 4
     untraced_times = []
     traced_times = []
-    timed_run(explorer, grid)  # warm-up, discarded
+    timed_run(explorer, grid, config=scalar)  # warm-up, discarded
 
     def timed_quiet(observer):
         gc.collect()
         gc.disable()
         try:
-            return timed_run(explorer, grid, observer=observer)
+            return timed_run(explorer, grid, observer=observer, config=scalar)
         finally:
             gc.enable()
 
@@ -234,3 +250,76 @@ def test_tracing_overhead_stays_under_five_percent(
         assert db.span_count("wave") == pairs * traced.stats.waves
         assert db.counter("result.count") == pairs * traced.stats.total_jobs
         assert db.counter("result.source.computed") == pairs * traced.stats.evaluated
+
+
+#: The acceptance bar for the vectorized evaluation fast path.
+BATCH_SPEEDUP_FLOOR = 5.0
+
+
+def test_batch_evaluation_speedup_on_cold_grid(paper_explorer, scaling_grid, bench_metrics):
+    """The acceptance bar for the vectorized wave evaluator: the numpy
+    batch path runs the 253-candidate cold grid at least 5x faster than
+    the scalar per-candidate walk, with byte-identical exploration
+    results."""
+    pytest.importorskip("numpy")
+    from repro.utils.serialization import to_json
+
+    explorer, grid = paper_explorer, scaling_grid
+    scalar_config = ExecutorConfig(batch=False)
+    batch_config = ExecutorConfig()
+
+    # Warm-ups, discarded: first calls pay one-time costs on both sides
+    # (numpy import and module caches) that are not the steady state a
+    # campaign sees.  The timed batch runs still rebuild the evaluator's
+    # profile tables every run — that cost is part of the fast path.
+    scalar_reference, _ = timed_run(explorer, grid, config=scalar_config)
+    batch_reference, _ = timed_run(explorer, grid, config=batch_config)
+
+    # Interleaved fastest-of-N, same rationale as the tracing-overhead
+    # test: the minimum discards scheduler preemption instead of
+    # averaging it into a statistic that cannot resolve the 5x bar.
+    scalar_times = []
+    batch_times = []
+    for repeat in range(5):
+        runs = [(scalar_times, scalar_config), (batch_times, batch_config)]
+        if repeat % 2:
+            runs.reverse()
+        for times, config in runs:
+            gc.collect()
+            gc.disable()
+            try:
+                _, seconds = timed_run(explorer, grid, config=config)
+            finally:
+                gc.enable()
+            times.append(seconds)
+
+    speedup = min(scalar_times) / min(batch_times)
+    print(
+        f"\nbatch evaluation: scalar {min(scalar_times):.3f}s, "
+        f"batch {min(batch_times):.3f}s -> {speedup:.1f}x "
+        f"({batch_reference.stats.batch_evaluations} batched evaluations)"
+    )
+    bench_metrics.update(
+        {
+            "candidates": len(grid),
+            "scalar_seconds": round(min(scalar_times), 6),
+            "batch_seconds": round(min(batch_times), 6),
+            "speedup": round(speedup, 3),
+            "batch_evaluations": batch_reference.stats.batch_evaluations,
+        }
+    )
+
+    # Every candidate except the up-front base point went through the
+    # vectorized path; the scalar run batched nothing.
+    assert scalar_reference.stats.batch_evaluations == 0
+    assert batch_reference.stats.batch_evaluations == len(grid) - 1
+    assert batch_reference.stats.evaluated == scalar_reference.stats.evaluated
+
+    # The fast path changes throughput, never results: the exploration
+    # outcomes serialise byte-identically.
+    assert to_json(batch_reference.result) == to_json(scalar_reference.result)
+
+    assert speedup >= BATCH_SPEEDUP_FLOOR, (
+        f"batch path {speedup:.2f}x over scalar "
+        f"(floor {BATCH_SPEEDUP_FLOOR:.0f}x)"
+    )

@@ -21,7 +21,8 @@ mapping" after "RSP exploration").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+from functools import cached_property
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.array import ArraySpec
 from repro.arch.template import ArchitectureSpec, default_array_spec
@@ -61,7 +62,14 @@ class ExplorationConstraints:
 
 @dataclass
 class DesignPointEvaluation:
-    """Cost/performance estimate for one candidate design."""
+    """Cost/performance estimate for one candidate design.
+
+    The domain totals below are cached on first access: feasibility
+    checks, Pareto filtering and summary tables all re-read them, and the
+    underlying stall dictionary is fixed once an evaluation is built.
+    The cache lives in the instance ``__dict__``, so field-based
+    serialization, hashing and equality are unaffected.
+    """
 
     parameters: RSPParameters
     architecture: ArchitectureSpec
@@ -69,16 +77,16 @@ class DesignPointEvaluation:
     critical_path_ns: float
     stall_estimates: Dict[str, StallEstimate] = field(default_factory=dict)
 
-    @property
+    @cached_property
     def total_estimated_cycles(self) -> int:
         """Sum of the upper-bound cycle counts over all domain kernels."""
         return sum(estimate.estimated_cycles for estimate in self.stall_estimates.values())
 
-    @property
+    @cached_property
     def total_stall_cycles(self) -> int:
         return sum(estimate.total_stalls for estimate in self.stall_estimates.values())
 
-    @property
+    @cached_property
     def total_execution_time_ns(self) -> float:
         """Estimated execution time over the whole domain (cycles x period)."""
         return self.total_estimated_cycles * self.critical_path_ns
@@ -100,11 +108,27 @@ class ExplorationResult:
     selected: Optional[DesignPointEvaluation]
 
     def by_name(self, name: str) -> DesignPointEvaluation:
-        """Look up an evaluated design point by its architecture name."""
-        for evaluation in self.evaluated:
-            if evaluation.architecture.name == name:
-                return evaluation
-        raise ExplorationError(f"no evaluated design named {name!r}")
+        """Look up an evaluated design point by its architecture name.
+
+        Served from a lazily built name index (first match wins, matching
+        the original linear scan) instead of an O(n) walk per lookup; the
+        index is rebuilt whenever the evaluated list changes length.  It
+        lives in the instance ``__dict__`` only, so serialization of the
+        dataclass fields is unaffected.
+        """
+        cached: Optional[Tuple[int, Dict[str, DesignPointEvaluation]]] = self.__dict__.get(
+            "_name_index"
+        )
+        if cached is None or cached[0] != len(self.evaluated):
+            index: Dict[str, DesignPointEvaluation] = {}
+            for evaluation in self.evaluated:
+                index.setdefault(evaluation.architecture.name, evaluation)
+            cached = (len(self.evaluated), index)
+            self.__dict__["_name_index"] = cached
+        evaluation = cached[1].get(name)
+        if evaluation is None:
+            raise ExplorationError(f"no evaluated design named {name!r}")
+        return evaluation
 
     def summary_rows(self) -> List[List[object]]:
         """Rows (name, kind, area, delay, cycles, ET, stalls, pareto, selected)."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.arch.template import ArchitectureSpec
@@ -86,20 +87,35 @@ class ScheduleProfile:
         if self.rows <= 0 or self.cols <= 0:
             raise ExplorationError("schedule profile dimensions must be positive")
 
-    @property
+    @cached_property
     def max_critical_per_cycle(self) -> int:
-        """Maximum number of critical operations issued in any single cycle."""
+        """Maximum number of critical operations issued in any single cycle.
+
+        Cached: the dataclass is frozen, ``critical_issues`` never changes,
+        and every ``StallEstimator.estimate`` call used to rebuild this
+        from scratch (``cached_property`` writes the instance ``__dict__``
+        directly, which works on frozen dataclasses and stays invisible
+        to field-based serialization and hashing).
+        """
         per_cycle: Dict[int, int] = defaultdict(int)
         for issue in self.critical_issues:
             per_cycle[issue.cycle] += 1
         return max(per_cycle.values()) if per_cycle else 0
 
     def issues_by_cycle(self) -> Dict[int, List[CriticalOpIssue]]:
-        """Critical issues grouped by their base-schedule cycle."""
-        grouped: Dict[int, List[CriticalOpIssue]] = defaultdict(list)
-        for issue in self.critical_issues:
-            grouped[issue.cycle].append(issue)
-        return dict(grouped)
+        """Critical issues grouped by their base-schedule cycle.
+
+        The grouping is computed once per profile and memoized; callers
+        must treat the returned mapping as read-only.
+        """
+        grouped = self.__dict__.get("_issues_by_cycle")
+        if grouped is None:
+            fresh: Dict[int, List[CriticalOpIssue]] = defaultdict(list)
+            for issue in self.critical_issues:
+                fresh[issue.cycle].append(issue)
+            grouped = dict(fresh)
+            self.__dict__["_issues_by_cycle"] = grouped
+        return grouped
 
 
 @dataclass(frozen=True)

@@ -94,6 +94,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip provably dominated candidates before stall estimation",
     )
     parser.add_argument(
+        "--batch",
+        dest="batch",
+        action="store_true",
+        default=None,
+        help="request the vectorized (numpy) evaluation fast path; the "
+        "default engages it automatically whenever numpy is available and "
+        "the backend is serial or thread (results are identical either way)",
+    )
+    parser.add_argument(
+        "--no-batch",
+        dest="batch",
+        action="store_false",
+        help="force the scalar per-candidate evaluation path",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=Path(".repro_engine_cache"),
@@ -287,6 +302,7 @@ def _run(args: argparse.Namespace) -> int:
         stream_dir=args.stream,
         resume=args.resume,
         trace_dir=args.trace,
+        batch=args.batch,
     )
     try:
         report, _ = runner.run()
@@ -305,7 +321,8 @@ def _run(args: argparse.Namespace) -> int:
         print(
             f"jobs: {report.total_jobs}  cache: {report.cache_hits} hits / "
             f"{report.cache_misses} misses ({100.0 * report.cache_hit_rate:.1f}% hit rate)  "
-            f"early-rejected: {report.early_rejected}  wall: {report.wall_seconds:.2f}s"
+            f"early-rejected: {report.early_rejected}  "
+            f"batched: {report.batch_evaluations}  wall: {report.wall_seconds:.2f}s"
         )
         stage_summary = "  ".join(
             f"{stage}: {timing['seconds']:.3f}s"

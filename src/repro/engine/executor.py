@@ -28,7 +28,7 @@ import os
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.engine.stream import AsyncPrefetcher
@@ -64,11 +64,24 @@ class ExecutorConfig:
 
     ``workers <= 1`` always resolves to the serial backend; a parallel
     backend with one worker would only add overhead.
+
+    ``batch`` controls the vectorized fast path
+    (:class:`repro.core.batch.BatchEvaluator`): ``None`` (the default)
+    engages it automatically whenever numpy is importable and the
+    resolved backend is serial or thread; ``False`` forces the scalar
+    per-candidate walk; ``True`` requests it explicitly but still falls
+    back to the scalar path when numpy is missing or the backend is the
+    process pool (whose workers evaluate per chunk).  The flag never
+    changes results — the batch path is bit-identical to the scalar
+    models — which is also why it lives here rather than on
+    :class:`~repro.engine.jobs.CampaignSpec`: it must not perturb
+    campaign fingerprints or checkpoint identity.
     """
 
     backend: str = "serial"
     workers: int = 1
     chunk_size: int = 8
+    batch: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -103,6 +116,9 @@ class EngineRunStats:
     checkpoint_hits: int = 0
     #: Waves actually dispatched (checkpoint-served jobs never form waves).
     waves: int = 0
+    #: Evaluations served by the vectorized batch path (a subset of
+    #: ``evaluated``; 0 when the scalar walk ran every candidate).
+    batch_evaluations: int = 0
     wall_seconds: float = 0.0
 
     @property
@@ -237,6 +253,11 @@ def _chunked(items: Sequence, size: int) -> List[List]:
     return [list(items[start : start + size]) for start in range(0, len(items), size)]
 
 
+#: Sentinel distinguishing "not resolved yet" from "resolved to None"
+#: (numpy missing or the batch path disabled) in :class:`EvaluationEngine`.
+_BATCH_UNSET = object()
+
+
 class EvaluationEngine:
     """Evaluates job lists through a backend, a cache and the reject filter.
 
@@ -256,6 +277,7 @@ class EvaluationEngine:
         self.config = config or ExecutorConfig()
         self.cache = cache
         self._context_hash: Optional[str] = None
+        self._batch_evaluator: Any = _BATCH_UNSET
 
     @property
     def context_hash(self) -> str:
@@ -280,6 +302,23 @@ class EvaluationEngine:
                 self.explorer._evaluation_context_hash = cached
             self._context_hash = cached
         return self._context_hash
+
+    def batch_evaluator(self):
+        """The vectorized wave evaluator, or ``None`` on the scalar path.
+
+        Resolved once per engine: ``None`` when the config disables
+        batching, when the backend is the process pool (its workers
+        evaluate chunks remotely) or when numpy is not importable — every
+        one of those cases degrades to the per-candidate scalar walk with
+        identical results.
+        """
+        if self.config.batch is False or self.config.resolved_backend == "process":
+            return None
+        if self._batch_evaluator is _BATCH_UNSET:
+            from repro.core.batch import BatchEvaluator
+
+            self._batch_evaluator = BatchEvaluator.from_explorer(self.explorer)
+        return self._batch_evaluator
 
     # ------------------------------------------------------------------
     # Single-job path (base point, ad-hoc evaluations)
@@ -362,6 +401,7 @@ class EvaluationEngine:
                 pending_indices.append(index)
 
         backend = self.config.resolved_backend
+        batch_evaluator = self.batch_evaluator()
         wave_width = self.config.workers if backend != "serial" else 1
         waves = _chunked(_chunked(pending_indices, self.config.chunk_size), wave_width)
 
@@ -375,7 +415,7 @@ class EvaluationEngine:
         pool = None
         prefetched = None
         try:
-            if backend == "thread":
+            if backend == "thread" and batch_evaluator is None:
                 pool = ThreadPoolExecutor(max_workers=self.config.workers)
             elif backend == "process":
                 pool = ProcessPoolExecutor(
@@ -452,7 +492,36 @@ class EvaluationEngine:
                     if misses:
                         dispatch.append(misses)
 
-                if pool is None:
+                if batch_evaluator is not None:
+                    # Vectorized fast path: the whole wave's cache misses
+                    # are encoded into one candidate matrix and evaluated
+                    # in a handful of numpy passes.  Results are regrouped
+                    # into the dispatch chunks so everything downstream
+                    # (cache writes, observers, stats) is untouched.
+                    flat = [index for chunk in dispatch for index in chunk]
+                    if flat:
+                        tracer = get_tracer()
+                        if tracer.active:
+                            with tracer.span(
+                                "evaluate", kind="eval", jobs=len(flat), batch=True
+                            ):
+                                evaluated = batch_evaluator.evaluate(
+                                    [jobs[index].parameters for index in flat],
+                                    names=[jobs[index].name for index in flat],
+                                )
+                            tracer.counter("eval.batch", len(flat))
+                        else:
+                            evaluated = batch_evaluator.evaluate(
+                                [jobs[index].parameters for index in flat],
+                                names=[jobs[index].name for index in flat],
+                            )
+                        stats.batch_evaluations += len(flat)
+                    wave_results = []
+                    cursor = 0
+                    for chunk in dispatch:
+                        wave_results.append(evaluated[cursor : cursor + len(chunk)])
+                        cursor += len(chunk)
+                elif pool is None:
                     wave_results = [
                         _evaluate_with(self.explorer, [jobs[index] for index in chunk])
                         for chunk in dispatch
@@ -485,12 +554,16 @@ class EvaluationEngine:
                         wave_results = list(pool.map(_worker_evaluate, payloads))
 
                 fresh: Dict[str, DesignPointEvaluation] = {}
+                computed_vectors: List[Tuple[float, float]] = []
                 for chunk, evaluations in zip(dispatch, wave_results):
                     for index, evaluation in zip(chunk, evaluations):
                         results[index] = evaluation
                         stats.evaluated += 1
                         feasible = feasibility(evaluation)
-                        frontier_add(evaluation, feasible)
+                        if reject_frontier is not None and feasible:
+                            computed_vectors.append(
+                                (evaluation.area_slices, evaluation.total_execution_time_ns)
+                            )
                         if self.cache is not None or observer is not None:
                             key = jobs[index].content_hash(self.context_hash)
                             if self.cache is not None:
@@ -506,6 +579,9 @@ class EvaluationEngine:
                                         feasible=feasible,
                                     )
                                 )
+                if reject_frontier is not None and computed_vectors:
+                    # One bulk merge per wave instead of m binary insertions.
+                    reject_frontier.add_many(computed_vectors)
                 if self.cache is not None and fresh:
                     # One batched store per wave (a single mput remotely).
                     self.cache.put_many(fresh)

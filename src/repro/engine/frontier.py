@@ -25,7 +25,7 @@ on it without an import cycle.
 from __future__ import annotations
 
 from bisect import bisect_left
-from typing import Any, Iterator, List, Sequence, Tuple
+from typing import Any, Iterator, List, Optional, Sequence, Tuple
 
 
 def _dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -218,6 +218,76 @@ class ParetoFrontier:
         self._keys.insert(position, key)
         self._items.insert(position, item)
         return True
+
+    def add_many(
+        self, vectors: Sequence[Sequence[float]], items: Optional[Sequence[Any]] = None
+    ) -> int:
+        """Bulk-insert a wave of points; returns how many joined the frontier.
+
+        Equivalent to calling :meth:`add` once per vector — dominance is
+        transitive, so the final frontier is the non-dominated subset of
+        the union regardless of insertion order — but computed as a
+        single merge of two sorted lists plus one linear sweep instead of
+        ``m`` binary insertions with element shifting.  Used by the
+        evaluation engine to fold a whole wave of computed results into
+        the early-reject frontier at once.
+        """
+        if items is not None and len(items) != len(vectors):
+            raise ValueError("items must align one-to-one with vectors")
+        if not vectors:
+            return 0
+        if self.num_objectives != 2:
+            added = 0
+            for position, vector in enumerate(vectors):
+                item = items[position] if items is not None else None
+                if self.add(vector, item):
+                    added += 1
+            return added
+        incoming = sorted(
+            (
+                (self._check(vector), items[position] if items is not None else None, True)
+                for position, vector in enumerate(vectors)
+            ),
+            key=lambda entry: entry[0],
+        )
+        existing = [
+            (key, item, False) for key, item in zip(self._keys, self._items)
+        ]
+        # Merge the two sorted runs (existing entries first on key ties,
+        # mirroring sequential-add behaviour for duplicates), then sweep:
+        # on a (x, y)-sorted sequence a point survives iff its y strictly
+        # improves the best y seen so far, or it duplicates the point
+        # that set that best — the same front-with-duplicates semantics
+        # as sequential insertion.
+        merged: List[Tuple[Tuple[float, ...], Any, bool]] = []
+        i = j = 0
+        while i < len(existing) and j < len(incoming):
+            if existing[i][0] <= incoming[j][0]:
+                merged.append(existing[i])
+                i += 1
+            else:
+                merged.append(incoming[j])
+                j += 1
+        merged.extend(existing[i:])
+        merged.extend(incoming[j:])
+        keys: List[Tuple[float, ...]] = []
+        kept_items: List[Any] = []
+        added = 0
+        best_y = float("inf")
+        best_key: Optional[Tuple[float, ...]] = None
+        for key, item, is_new in merged:
+            if key[1] < best_y:
+                best_y = key[1]
+                best_key = key
+            elif key != best_key:
+                continue
+            keys.append(key)
+            kept_items.append(item)
+            if is_new:
+                added += 1
+        self._keys = keys
+        self._items = kept_items
+        return added
 
     def _add_general(self, key: Tuple[float, ...], item: Any) -> bool:
         if any(_dominates(member, key) for member in self._keys):

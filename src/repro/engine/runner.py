@@ -73,6 +73,8 @@ class SuiteReport:
     cache_misses: int
     profile_seconds: float
     explore_seconds: float
+    #: Evaluations served by the vectorized batch path (0 on scalar runs).
+    batch_evaluations: int = 0
     artifact_hits: int = 0
     artifact_misses: int = 0
     mapping_seconds: float = 0.0
@@ -101,6 +103,8 @@ class CampaignReport:
     cache_misses: int
     early_rejected: int
     wall_seconds: float
+    #: Evaluations served by the vectorized batch path across all suites.
+    batch_evaluations: int = 0
     artifact_dir: Optional[str] = None
     artifact_hits: int = 0
     artifact_misses: int = 0
@@ -227,6 +231,14 @@ class CampaignRunner:
         ``python -m repro.trace`` renders as dashboards.  May be the same
         directory as ``stream_dir`` — the DB then sits next to the event
         journal.  Untraced runs keep the no-op tracer and pay nothing.
+    batch:
+        Vectorized-evaluation override forwarded to
+        :class:`~repro.engine.executor.ExecutorConfig`: ``None`` engages
+        the numpy fast path automatically where it applies, ``False``
+        forces the scalar walk.  Results are identical either way, which
+        is why the flag is a runner argument and not part of the
+        :class:`~repro.engine.jobs.CampaignSpec` (it must not change
+        campaign fingerprints or checkpoint identity).
     gc_max_age:
         When set, a post-campaign janitor pass evicts store entries not
         written or read for this many seconds.
@@ -251,6 +263,7 @@ class CampaignRunner:
         stream_dir: Optional[Path] = None,
         resume: bool = False,
         trace_dir: Optional[Path] = None,
+        batch: Optional[bool] = None,
     ) -> None:
         if store_url is not None and (cache_dir is not None or artifact_dir is not None):
             raise ValueError(
@@ -261,6 +274,7 @@ class CampaignRunner:
         if resume and stream_dir is None:
             raise ValueError("resume replays a stream directory; it needs stream_dir")
         self.spec = spec
+        self.batch = batch
         self.stream_dir = Path(stream_dir) if stream_dir is not None else None
         self.resume = resume
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
@@ -363,6 +377,7 @@ class CampaignRunner:
             backend=self.spec.backend,
             workers=self.spec.workers,
             chunk_size=self.spec.chunk_size,
+            batch=self.batch,
         )
         candidates = self.spec.candidate_grid()
         suite_reports: List[SuiteReport] = []
@@ -490,6 +505,7 @@ class CampaignRunner:
                     cache_misses=stats.cache_misses,
                     profile_seconds=profile_seconds,
                     explore_seconds=stats.wall_seconds,
+                    batch_evaluations=stats.batch_evaluations,
                     artifact_hits=store_stats.hits - store_suite_hits,
                     artifact_misses=store_stats.misses - store_suite_misses,
                     mapping_seconds=sum(delta.seconds for delta in stage_delta.values()),
@@ -502,6 +518,7 @@ class CampaignRunner:
             totals.early_rejected += stats.early_rejected
             totals.checkpoint_hits += stats.checkpoint_hits
             totals.waves += stats.waves
+            totals.batch_evaluations += stats.batch_evaluations
             if suite_span is not None:
                 suite_span.set("kernels", len(kernels))
                 suite_span.set("candidates", len(candidates))
@@ -549,6 +566,7 @@ class CampaignRunner:
             cache_misses=totals.cache_misses,
             early_rejected=totals.early_rejected,
             wall_seconds=time.perf_counter() - started,
+            batch_evaluations=totals.batch_evaluations,
             artifact_dir=str(artifact_directory) if artifact_directory is not None else None,
             artifact_hits=store_stats.hits - store_hits_before,
             artifact_misses=store_stats.misses - store_misses_before,

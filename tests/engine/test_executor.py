@@ -197,3 +197,76 @@ def test_feasibility_helper_matches_method(explorer):
         assert is_feasible(evaluation, result.base, constraints) == explorer._is_feasible(
             evaluation, result.base, constraints
         )
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch path
+# ----------------------------------------------------------------------
+def test_batch_path_engages_and_matches_scalar(explorer):
+    pytest.importorskip("numpy")
+    scalar = run_exploration(explorer, config=ExecutorConfig(batch=False))
+    batch = run_exploration(explorer, config=ExecutorConfig())
+    assert scalar.stats.batch_evaluations == 0
+    # The base point is evaluated once up front through the scalar
+    # single-job path; every wave-dispatched candidate is batched.
+    assert batch.stats.batch_evaluations == batch.stats.evaluated - 1 > 0
+    # Full dataclass equality: same parameters, architectures, floats and
+    # stall dictionaries — the batch path is bit-identical, not just close.
+    assert batch.result.evaluated == scalar.result.evaluated
+    assert batch.result.feasible == scalar.result.feasible
+    assert batch.result.pareto == scalar.result.pareto
+    assert batch.result.selected == scalar.result.selected
+
+
+def test_batch_path_engages_on_thread_backend(explorer):
+    pytest.importorskip("numpy")
+    config = ExecutorConfig(backend="thread", workers=2, chunk_size=3)
+    outcome = run_exploration(explorer, config=config)
+    assert outcome.stats.batch_evaluations == outcome.stats.evaluated - 1 > 0
+    scalar = run_exploration(explorer, config=ExecutorConfig(batch=False))
+    assert outcome.result.evaluated == scalar.result.evaluated
+
+
+def test_batch_path_disabled_for_process_backend(explorer):
+    config = ExecutorConfig(backend="process", workers=2, chunk_size=8)
+    outcome = run_exploration(explorer, config=config)
+    assert outcome.stats.batch_evaluations == 0
+    assert outcome.stats.evaluated > 0
+
+
+def test_batch_path_skips_cache_hits(explorer, tmp_path):
+    pytest.importorskip("numpy")
+    cache = EvaluationCache(tmp_path / "evals.jsonl")
+    cold = run_exploration(explorer, cache=cache)
+    assert cold.stats.batch_evaluations == cold.stats.evaluated - 1 > 0
+
+    warm = EvaluationCache(tmp_path / "evals.jsonl")
+    second = run_exploration(explorer, cache=warm)
+    # A fully warm run computes nothing, so nothing is batched either.
+    assert second.stats.batch_evaluations == 0
+    assert second.stats.evaluated == 0
+    assert second.result.evaluated == cold.result.evaluated
+
+
+def test_batch_path_with_early_reject_matches_scalar(explorer):
+    pytest.importorskip("numpy")
+    scalar = run_exploration(
+        explorer, config=ExecutorConfig(batch=False), early_reject=True
+    )
+    batch = run_exploration(explorer, config=ExecutorConfig(), early_reject=True)
+    assert batch.result.pareto == scalar.result.pareto
+    assert batch.result.selected == scalar.result.selected
+    assert batch.rejected == scalar.rejected
+    assert batch.stats.early_rejected == scalar.stats.early_rejected
+
+
+def test_batch_falls_back_without_numpy(explorer, monkeypatch):
+    import repro.core.batch as batch_module
+
+    monkeypatch.setattr(batch_module, "_np", None)
+    outcome = run_exploration(explorer, config=ExecutorConfig(batch=True))
+    assert outcome.stats.batch_evaluations == 0
+    assert outcome.stats.evaluated > 0
+    reference = run_exploration(explorer, config=ExecutorConfig(batch=False))
+    assert outcome.result.evaluated == reference.result.evaluated
+    assert outcome.result.selected == reference.result.selected

@@ -156,3 +156,88 @@ def test_streaming_frontier_matches_batch_front_set(vectors):
         frontier.add(vector, index)
     expected = sorted(tuple(vectors[i]) for i in pareto_front_indices(vectors))
     assert sorted(frontier.vectors()) == expected
+
+
+# ----------------------------------------------------------------------
+# Bulk insertion (add_many)
+# ----------------------------------------------------------------------
+def test_add_many_empty_is_noop():
+    frontier = ParetoFrontier()
+    frontier.add((1, 1))
+    assert frontier.add_many([]) == 0
+    assert frontier.vectors() == [(1, 1)]
+
+
+def test_add_many_on_empty_frontier_builds_the_front():
+    frontier = ParetoFrontier()
+    added = frontier.add_many([(1, 4), (2, 2), (4, 1), (3, 3), (5, 5)])
+    assert frontier.vectors() == [(1, 4), (2, 2), (4, 1)]
+    assert added == 3
+
+
+def test_add_many_matches_sequential_with_existing_members():
+    vectors = [(2, 9), (7, 3), (5, 5)]
+    incoming = [(1, 10), (5, 4), (6, 6), (5, 4), (7, 2), (3, 8)]
+    sequential = ParetoFrontier()
+    bulk = ParetoFrontier()
+    for vector in vectors:
+        sequential.add(vector)
+        bulk.add(vector)
+    for vector in incoming:
+        sequential.add(vector)
+    bulk.add_many(incoming)
+    assert bulk.vectors() == sequential.vectors()
+
+
+def test_add_many_keeps_duplicates():
+    frontier = ParetoFrontier()
+    frontier.add((2, 2))
+    added = frontier.add_many([(2, 2), (2, 2), (3, 3)])
+    assert frontier.vectors() == [(2, 2), (2, 2), (2, 2)]
+    assert added == 2
+
+
+def test_add_many_carries_items():
+    frontier = ParetoFrontier()
+    frontier.add((5, 1), item="old")
+    frontier.add_many([(1, 5), (3, 3), (4, 4)], items=["a", "b", "c"])
+    assert dict(zip(frontier.vectors(), frontier.items())) == {
+        (1, 5): "a",
+        (3, 3): "b",
+        (5, 1): "old",
+    }
+
+
+def test_add_many_rejects_misaligned_items():
+    with pytest.raises(ValueError):
+        ParetoFrontier().add_many([(1, 1), (2, 2)], items=["only-one"])
+
+
+def test_add_many_counts_only_final_survivors():
+    frontier = ParetoFrontier()
+    # (2, 2) dominates (3, 3) within the same batch: only one survives.
+    assert frontier.add_many([(3, 3), (2, 2)]) == 1
+    assert frontier.vectors() == [(2, 2)]
+
+
+def test_add_many_three_objectives_matches_sequential():
+    incoming = [(1, 1, 5), (1, 5, 1), (5, 1, 1), (2, 2, 2), (6, 6, 6), (2, 2, 2)]
+    sequential = ParetoFrontier(num_objectives=3)
+    bulk = ParetoFrontier(num_objectives=3)
+    for vector in incoming:
+        sequential.add(vector)
+    added = bulk.add_many(incoming)
+    assert sorted(bulk.vectors()) == sorted(sequential.vectors())
+    assert added == len(bulk.vectors())
+
+
+def test_add_many_preserves_query_invariants():
+    frontier = ParetoFrontier()
+    frontier.add_many([(1, 9), (3, 5), (6, 2), (4, 4), (9, 1)])
+    assert frontier.dominated((5, 5))
+    assert not frontier.dominated((1, 9))
+    assert frontier.min_second_objective_at_or_below(4) == 4
+    assert frontier.min_second_objective_at_or_below(0.5) == float("inf")
+    # Subsequent incremental adds still work on the rebuilt lists.
+    assert frontier.add((0.5, 10))
+    assert not frontier.add((10, 10))

@@ -225,3 +225,68 @@ def test_cli_artifact_dir_defaults_to_cache_dir(tmp_path):
     payload = json.loads(output.read_text())
     assert payload["report"]["artifact_dir"] == str(cache_dir / "artifacts")
     assert (cache_dir / "artifacts" / "base_schedule").is_dir()
+
+
+# ----------------------------------------------------------------------
+# Vectorized batch path through the runner and the CLI
+# ----------------------------------------------------------------------
+def test_runner_batch_flag_and_counters(small_spec):
+    pytest.importorskip("numpy")
+    batched, batched_results = CampaignRunner(small_spec).run()
+    scalar, scalar_results = CampaignRunner(small_spec, batch=False).run()
+    assert scalar.batch_evaluations == 0
+    assert all(suite.batch_evaluations == 0 for suite in scalar.suites)
+    assert batched.batch_evaluations > 0
+    assert batched.batch_evaluations == sum(
+        suite.batch_evaluations for suite in batched.suites
+    )
+    # The batch path changes throughput, never results: the exploration
+    # outcomes serialise byte-identically.
+    assert to_json(batched_results["h264"]) == to_json(scalar_results["h264"])
+    assert batched.suites[0].selected == scalar.suites[0].selected
+
+
+def test_runner_batch_counters_zero_without_numpy(small_spec, monkeypatch):
+    import repro.core.batch as batch_module
+
+    monkeypatch.setattr(batch_module, "_np", None)
+    report, _ = CampaignRunner(small_spec).run()
+    assert report.batch_evaluations == 0
+    assert report.suites[0].selected is not None
+
+
+def test_cli_batch_flags():
+    parser = build_parser()
+    assert parser.parse_args([]).batch is None
+    assert parser.parse_args(["--batch"]).batch is True
+    assert parser.parse_args(["--no-batch"]).batch is False
+
+
+def test_cli_no_batch_matches_default_report(tmp_path, capsys):
+    pytest.importorskip("numpy")
+    base_args = [
+        "--suite", "h264", "--max-rows-shared", "1", "--max-cols-shared", "1",
+        "--no-cache", "--no-artifact-cache", "--quiet",
+    ]
+    fast = tmp_path / "fast.json"
+    slow = tmp_path / "slow.json"
+    assert main(base_args + ["--output", str(fast)]) == 0
+    assert main(base_args + ["--no-batch", "--output", str(slow)]) == 0
+    capsys.readouterr()
+    fast_payload = json.loads(fast.read_text())
+    slow_payload = json.loads(slow.read_text())
+    assert fast_payload["report"]["batch_evaluations"] > 0
+    assert slow_payload["report"]["batch_evaluations"] == 0
+    assert fast_payload["suite_selections"] == slow_payload["suite_selections"]
+    for key in ("total_jobs", "cache_hits", "early_rejected"):
+        assert fast_payload["report"][key] == slow_payload["report"][key]
+
+
+def test_cli_summary_line_shows_batched_count(tmp_path, capsys):
+    pytest.importorskip("numpy")
+    assert main([
+        "--suite", "h264", "--max-rows-shared", "1", "--max-cols-shared", "1",
+        "--no-cache", "--no-artifact-cache",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "batched:" in out

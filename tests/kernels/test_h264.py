@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy", reason="reference computations need numpy")
 
 from repro.arch import base_architecture, rsp_architecture
 from repro.ir import OpType, validate_dfg
