@@ -39,6 +39,7 @@ log — which is a faithful journal, not a comparison target.
 from __future__ import annotations
 
 import json
+import os
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -58,17 +59,29 @@ from repro.engine.executor import WaveObserver, WaveOutcome
 from repro.engine.frontier import ParetoFrontier
 from repro.engine.jobs import CampaignSpec
 from repro.errors import ExplorationError
+from repro.store.locks import lock_path_for
+
+try:  # pragma: no cover - import guard exercised only off-POSIX
+    import fcntl
+except ImportError:  # pragma: no cover
+    fcntl = None  # type: ignore[assignment]
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.core.exploration import DesignPointEvaluation
     from repro.engine.runner import CampaignReport
 
 #: Event types a campaign stream may emit, in their natural order.
+#: ``lease`` and ``requeue`` are the coordinator's journal entries
+#: (:mod:`repro.service.coordinator`): a ``lease`` opens a wave exactly as
+#: a ``wave_start`` does, a ``requeue`` marks a lease whose worker missed
+#: its heartbeat deadline.
 EVENT_TYPES: Tuple[str, ...] = (
     "campaign_start",
     "wave_start",
+    "lease",
     "result",
     "frontier_update",
+    "requeue",
     "wave_end",
     "campaign_end",
 )
@@ -127,6 +140,15 @@ class EventLog:
     trailing line.  Reopening an existing log continues the sequence
     numbering (and heals a missing trailing newline first), so a resumed
     campaign appends to the same journal.
+
+    Event logs are **single-writer**: the torn-tail heal and the sequence
+    continuation both assume exactly one appender, so opening one takes a
+    non-blocking exclusive ``flock`` on a ``.lock`` sibling (held for the
+    handle's lifetime, released automatically if the process is killed)
+    and :meth:`emit` additionally refuses to run in a forked child — the
+    same convention as :class:`repro.trace.db.TraceDB`.  Readers are
+    unaffected; fleet workers route their results through the coordinator
+    instead of sharing one stream directory.
     """
 
     def __init__(self, path: Union[str, Path]) -> None:
@@ -134,6 +156,9 @@ class EventLog:
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self.emitted = 0
         self._sequence = -1
+        self._pid = os.getpid()
+        self._lock_descriptor: Optional[int] = None
+        self._acquire_writer_lock()
         needs_newline = False
         if self.path.is_file() and self.path.stat().st_size:
             raw = self.path.read_bytes()
@@ -149,11 +174,46 @@ class EventLog:
             self._handle.write("\n")
             self._handle.flush()
 
+    def _acquire_writer_lock(self) -> None:
+        """Take the exclusive writer lock, or fail with the holder's pid."""
+        if fcntl is None:  # pragma: no cover - POSIX everywhere we run
+            return
+        lock_path = lock_path_for(self.path)
+        descriptor = os.open(lock_path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(descriptor, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            holder = b""
+            try:
+                holder = os.read(descriptor, 64)
+            except OSError:
+                pass
+            os.close(descriptor)
+            owner = holder.decode("utf-8", errors="replace").strip()
+            raise ExplorationError(
+                f"event log {self.path} is already open for writing"
+                + (f" by pid {owner}" if owner else "")
+                + "; event logs are single-writer — two processes appending "
+                "to one journal would interleave and corrupt its sequence. "
+                "Use a separate stream directory per process, or route "
+                "fleet results through the campaign coordinator."
+            )
+        os.ftruncate(descriptor, 0)
+        os.write(descriptor, f"{self._pid}\n".encode("utf-8"))
+        self._lock_descriptor = descriptor
+
     def emit(self, event_type: str, **data: Any) -> CampaignEvent:
         """Append one event and flush it to the OS immediately."""
         if event_type not in EVENT_TYPES:
             raise ValueError(
                 f"unknown event type {event_type!r}; known: {', '.join(EVENT_TYPES)}"
+            )
+        if os.getpid() != self._pid:
+            raise ExplorationError(
+                f"event log {self.path} belongs to pid {self._pid}; this "
+                f"process (pid {os.getpid()}) inherited the handle across a "
+                "fork — event logs are single-writer, so forked workers must "
+                "ship results through the parent instead of emitting directly"
             )
         self._sequence += 1
         event = CampaignEvent(
@@ -169,6 +229,14 @@ class EventLog:
     def close(self) -> None:
         if not self._handle.closed:
             self._handle.close()
+        if self._lock_descriptor is not None and os.getpid() == self._pid:
+            try:
+                if fcntl is not None:
+                    fcntl.flock(self._lock_descriptor, fcntl.LOCK_UN)
+                os.close(self._lock_descriptor)
+            except OSError:  # pragma: no cover - descriptor already gone
+                pass
+            self._lock_descriptor = None
 
     def __enter__(self) -> "EventLog":
         return self
@@ -219,6 +287,9 @@ class StreamReplay:
     waves_completed: Dict[str, int] = field(default_factory=dict)
     results: Dict[str, int] = field(default_factory=dict)
     frontiers: Dict[str, ParetoFrontier] = field(default_factory=dict)
+    #: Coordinator journals only: leases granted / requeued per suite.
+    leases: Dict[str, int] = field(default_factory=dict)
+    requeues: Dict[str, int] = field(default_factory=dict)
 
     def frontier_vectors(self, suite: str) -> List[List[float]]:
         frontier = self.frontiers.get(suite)
@@ -257,7 +328,7 @@ def replay_events(events: List[CampaignEvent]) -> StreamReplay:
         suite = event.data.get("suite")
         if not isinstance(suite, str) or not suite:
             raise ExplorationError(f"event {event.type!r} names no suite")
-        if event.type in ("wave_start", "wave_end"):
+        if event.type in ("wave_start", "wave_end", "lease", "requeue"):
             try:
                 wave = int(event.data["wave"])
             except (KeyError, TypeError, ValueError):
@@ -267,6 +338,19 @@ def replay_events(events: List[CampaignEvent]) -> StreamReplay:
         if event.type == "wave_start":
             open_waves[(suite, wave)] = event.sequence
             replay.waves_started[suite] = replay.waves_started.get(suite, 0) + 1
+        elif event.type == "lease":
+            # A coordinator lease opens the wave exactly as wave_start does
+            # (a requeued wave is simply leased — and opened — again).
+            open_waves[(suite, wave)] = event.sequence
+            replay.waves_started[suite] = replay.waves_started.get(suite, 0) + 1
+            replay.leases[suite] = replay.leases.get(suite, 0) + 1
+        elif event.type == "requeue":
+            if (suite, wave) not in open_waves:
+                raise ExplorationError(
+                    f"requeue for {suite!r} wave {wave} without a lease"
+                )
+            del open_waves[(suite, wave)]
+            replay.requeues[suite] = replay.requeues.get(suite, 0) + 1
         elif event.type == "wave_end":
             if (suite, wave) not in open_waves:
                 raise ExplorationError(

@@ -21,6 +21,12 @@ and artifact store.  The pieces:
 :func:`open_store_backend`
     The one-liner the engine, the flow and the CLI share to build a
     remote (optionally tiered) backend from a URL.
+
+:class:`~repro.service.coordinator.CampaignCoordinator`
+    The campaign scheduler behind the ``/campaign`` routes: workers
+    lease waves, heartbeat while evaluating, and report results into a
+    shared checkpoint; silent leases are requeued
+    (:class:`~repro.service.coordinator.LeasePolicy` sets the timing).
 """
 
 from __future__ import annotations
@@ -29,6 +35,12 @@ from typing import Union
 
 from repro.store.remote import RemoteBackend, StoreServiceError
 from repro.store.tiered import TieredBackend
+from repro.service.coordinator import (
+    CampaignCoordinator,
+    CoordinatorError,
+    LeasePolicy,
+    WaveState,
+)
 from repro.service.server import StoreRequestHandler, StoreServer, StoreService
 
 
@@ -43,11 +55,15 @@ def open_store_backend(
 
 
 __all__ = [
+    "CampaignCoordinator",
+    "CoordinatorError",
+    "LeasePolicy",
     "RemoteBackend",
     "StoreRequestHandler",
     "StoreServer",
     "StoreService",
     "StoreServiceError",
     "TieredBackend",
+    "WaveState",
     "open_store_backend",
 ]

@@ -157,6 +157,11 @@ class RemoteBackend(StoreBackend):
         self._local = threading.local()
         self._connections: List[http.client.HTTPConnection] = []
         self._connections_lock = threading.Lock()
+        # Degraded-mode state is shared across every request thread; the
+        # lock keeps a burst of concurrent failures from double-counting
+        # offline_trips or tearing the grace window (one thread extending
+        # it while another clears it).
+        self._state_lock = threading.Lock()
         self._offline_until: Optional[float] = None
         self.counters = _Counters()
         #: Completed HTTP requests (any status), transport retries taken,
@@ -195,7 +200,8 @@ class RemoteBackend(StoreBackend):
     @property
     def offline(self) -> bool:
         """Whether the backend is currently in the degraded window."""
-        return self._offline_until is not None and self._clock() < self._offline_until
+        with self._state_lock:
+            return self._offline_until is not None and self._clock() < self._offline_until
 
     def _request(
         self,
@@ -232,7 +238,8 @@ class RemoteBackend(StoreBackend):
                     self._sleep(self.backoff * (2**attempt))
                 continue
             self.requests += 1
-            self._offline_until = None
+            with self._state_lock:
+                self._offline_until = None
             response_headers = {name.lower(): value for name, value in response.getheaders()}
             if tracer.active:
                 tracer.record_span(
@@ -258,8 +265,16 @@ class RemoteBackend(StoreBackend):
                 error=type(last_error).__name__ if last_error is not None else None,
             )
         if not self.strict:
-            self._offline_until = self._clock() + self.offline_grace
-            self.offline_trips += 1
+            with self._state_lock:
+                # One *trip* per outage, not per failing thread: only the
+                # request that finds no active window opens one.  Requests
+                # failing concurrently (or inside the window — strict=False
+                # callers that raced past the offline check) just ride the
+                # window that is already open.
+                now = self._clock()
+                if self._offline_until is None or now >= self._offline_until:
+                    self._offline_until = now + self.offline_grace
+                    self.offline_trips += 1
         raise StoreServiceError(
             f"store service {self.url} unreachable after {self.retries + 1} attempts: {last_error}"
         ) from last_error

@@ -26,6 +26,8 @@ read-through caching needs no invalidation protocol here.
 from __future__ import annotations
 
 import threading
+import time
+import warnings
 from collections import deque
 from typing import Any, Deque, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
@@ -173,15 +175,66 @@ class TieredBackend(StoreBackend):
                 return
             self._write_out(batch)
 
-    def close(self) -> None:
-        """Drain pending writes and stop the background flusher."""
+    def close(self, timeout: float = 5.0) -> None:
+        """Drain pending writes, bounded by ``timeout``; never drop silently.
+
+        The drain runs on the caller's thread (like :meth:`flush`) against
+        a deadline.  A healthy slow tier empties the queue and the close is
+        clean; a wedged one (a remote hanging inside its socket timeout)
+        cannot hold the campaign hostage — at the deadline the records
+        still *queued* are counted into :attr:`dropped_records` and
+        reported with a :class:`RuntimeWarning`.  Batches already in
+        flight are not double-counted: :meth:`_write_out` accounts for
+        them itself when the slow tier finally answers (or fails).
+        """
+        deadline = time.monotonic() + timeout
         with self._condition:
             self._closed = True
             self._condition.notify_all()
-        self.flush()
+        stranded = 0
+        in_flight = 0
+        while True:
+            batch: List[Tuple[str, str, Any]] = []
+            with self._condition:
+                if not self._queue and not self._in_flight:
+                    break
+                if time.monotonic() >= deadline:
+                    stranded = len(self._queue)
+                    in_flight = self._in_flight
+                    self.dropped_records += stranded
+                    self._queue.clear()
+                    break
+                batch = self._take_batch()
+                if not batch:
+                    # The flusher owns the in-flight writes; wait them out
+                    # (but never past the deadline).
+                    self._condition.wait(
+                        timeout=min(
+                            self.flush_interval,
+                            max(deadline - time.monotonic(), 0.001),
+                        )
+                    )
+                    continue
+            if batch:
+                self._write_out(batch)
         if self._flusher is not None:
-            self._flusher.join(timeout=5.0)
+            self._flusher.join(timeout=max(deadline - time.monotonic(), 0.0))
             self._flusher = None
+        if stranded or in_flight:
+            warnings.warn(
+                f"tiered store closed with {stranded} queued record(s) dropped"
+                + (
+                    f" and {in_flight} record(s) still in flight toward the slow tier"
+                    if in_flight
+                    else ""
+                )
+                + f" after the {timeout:.1f}s drain deadline — the slow tier "
+                "did not keep up; the values stay recomputable (content-"
+                "addressed) but this worker's results did not all reach "
+                "durable storage",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def __enter__(self) -> "TieredBackend":
         return self

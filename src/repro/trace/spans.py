@@ -45,6 +45,7 @@ SPAN_KINDS: Tuple[str, ...] = (
     "stage",
     "eval",
     "request",
+    "lease",
     "span",
 )
 

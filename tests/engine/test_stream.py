@@ -73,6 +73,30 @@ def test_event_log_rejects_unknown_types(tmp_path):
             log.emit("wave_exploded")
 
 
+def test_event_log_is_single_writer(tmp_path):
+    """A second writer on one journal fails loudly, naming the holder."""
+    path = tmp_path / "events.jsonl"
+    log = EventLog(path)
+    try:
+        log.emit("campaign_start", campaign="x")
+        with pytest.raises(ExplorationError, match="single-writer") as err:
+            EventLog(path)
+        assert f"pid {os.getpid()}" in str(err.value)
+    finally:
+        log.close()
+    # Closing releases the flock: the next writer continues the sequence.
+    with EventLog(path) as successor:
+        assert successor.emit("campaign_end", campaign="x").sequence == 1
+
+
+def test_event_log_refuses_to_emit_from_a_forked_child(tmp_path, monkeypatch):
+    with EventLog(tmp_path / "events.jsonl") as log:
+        log.emit("campaign_start", campaign="x")
+        monkeypatch.setattr(log, "_pid", os.getpid() + 1)  # simulate the fork
+        with pytest.raises(ExplorationError, match="fork"):
+            log.emit("campaign_end", campaign="x")
+
+
 def test_event_log_survives_a_torn_tail(tmp_path):
     path = tmp_path / "events.jsonl"
     with EventLog(path) as log:
@@ -331,7 +355,7 @@ def test_cli_resume_requires_stream(capsys):
 
 
 # ----------------------------------------------------------------------
-# Kill -TERM / resume, through the real CLI
+# Kill (-TERM and -KILL) / resume, through the real CLI
 # ----------------------------------------------------------------------
 def _engine_argv(workdir: Path, stream: Path, output: Path, resume=False):
     argv = [
@@ -360,22 +384,41 @@ def _wave_end_count(events_path: Path) -> int:
     return sum(1 for event in EventLog.read(events_path) if event.type == "wave_end")
 
 
-def test_sigterm_mid_campaign_then_resume_is_byte_identical(tmp_path):
+def _subprocess_env():
     import repro
 
     source_root = Path(repro.__file__).resolve().parents[1]
-    env = dict(os.environ, PYTHONPATH=str(source_root))
+    return dict(os.environ, PYTHONPATH=str(source_root))
 
-    # Reference: the uninterrupted run.
-    reference_out = tmp_path / "reference.json"
+
+@pytest.fixture(scope="module")
+def cli_reference(tmp_path_factory):
+    """The uninterrupted CLI run both kill variants compare against."""
+    tmp = tmp_path_factory.mktemp("cli-ref")
+    env = _subprocess_env()
+    reference_out = tmp / "reference.json"
     subprocess.run(
-        _engine_argv(tmp_path / "ref", tmp_path / "stream-ref", reference_out),
+        _engine_argv(tmp / "ref", tmp / "stream-ref", reference_out),
         env=env, check=True, timeout=600,
     )
-    reference_waves = _wave_end_count(tmp_path / "stream-ref" / "events.jsonl")
+    reference_waves = _wave_end_count(tmp / "stream-ref" / "events.jsonl")
     assert reference_waves >= 4
+    return reference_out.read_bytes(), reference_waves
 
-    # The victim: SIGTERMed once its first waves have checkpointed.
+
+@pytest.mark.parametrize(
+    "kill_signal", [signal.SIGTERM, signal.SIGKILL], ids=["sigterm", "sigkill"]
+)
+def test_killed_campaign_then_resume_is_byte_identical(
+    tmp_path, cli_reference, kill_signal
+):
+    """SIGTERM gets a chance to clean up; SIGKILL gets none (the journal's
+    torn-tail heal and the checkpoint's write-then-rename carry it).  Both
+    must resume to the reference bytes."""
+    reference_bytes, reference_waves = cli_reference
+    env = _subprocess_env()
+
+    # The victim: killed once its first waves have checkpointed.
     victim_stream = tmp_path / "stream-victim"
     victim_out = tmp_path / "victim.json"
     victim = subprocess.Popen(
@@ -389,7 +432,7 @@ def test_sigterm_mid_campaign_then_resume_is_byte_identical(tmp_path):
         if _wave_end_count(events_path) >= 2:
             break
         time.sleep(0.002)
-    victim.send_signal(signal.SIGTERM)
+    victim.send_signal(kill_signal)
     assert victim.wait(timeout=60) != 0
     assert not victim_out.exists()  # it never reached the report
     killed_waves = _wave_end_count(events_path)
@@ -400,6 +443,99 @@ def test_sigterm_mid_campaign_then_resume_is_byte_identical(tmp_path):
         _engine_argv(tmp_path / "victim", victim_stream, victim_out, resume=True),
         env=env, check=True, timeout=600,
     )
-    assert victim_out.read_bytes() == reference_out.read_bytes()
+    assert victim_out.read_bytes() == reference_bytes
     resumed_waves = _wave_end_count(events_path) - killed_waves
     assert resumed_waves < reference_waves  # >=1 wave skipped via checkpoint
+
+
+# ----------------------------------------------------------------------
+# Kill -9 convergence through the coordinator requeue path
+# ----------------------------------------------------------------------
+def _worker_argv(coordinator_url, workdir: Path, tag: str, lease_delay=0.0):
+    return [
+        sys.executable,
+        "-m",
+        "repro.engine",
+        "--suite", "h264",
+        "--max-rows-shared", "1",
+        "--max-cols-shared", "1",
+        "--chunk-size", "2",
+        "--worker",
+        "--coordinator", coordinator_url,
+        "--worker-name", tag,
+        "--lease-delay", str(lease_delay),
+        "--cache-dir", str(workdir / f"cache-{tag}"),
+        "--stream", str(workdir / f"stream-{tag}"),
+        "--output", str(workdir / f"report-{tag}.json"),
+        "--quiet",
+    ]
+
+
+def test_sigkill_worker_mid_wave_requeues_and_fleet_converges(tmp_path):
+    """The other half of the kill -9 story: a fleet worker dies holding a
+    lease, the coordinator requeues the wave after the lease timeout, and
+    a surviving worker's report is byte-identical to the serial run."""
+    from repro.service import CampaignCoordinator, LeasePolicy, StoreServer
+    from repro.store import MemoryBackend
+
+    env = _subprocess_env()
+
+    # Serial reference for the small fleet spec, through the same CLI.
+    serial_out = tmp_path / "serial.json"
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.engine",
+            "--suite", "h264",
+            "--max-rows-shared", "1",
+            "--max-cols-shared", "1",
+            "--chunk-size", "2",
+            "--cache-dir", str(tmp_path / "cache-serial"),
+            "--stream", str(tmp_path / "stream-serial"),
+            "--output", str(serial_out),
+            "--quiet",
+        ],
+        env=env, check=True, timeout=600,
+    )
+
+    policy = LeasePolicy(lease_timeout=1.0, heartbeat_interval=0.2, max_attempts=5)
+    coordinator = CampaignCoordinator(tmp_path / "coord", policy=policy)
+    server = StoreServer(MemoryBackend(), coordinator=coordinator).start()
+    victim = None
+    try:
+        # The victim parks in its --lease-delay window while holding a
+        # live (heartbeating) lease — kill -9 lands reliably mid-wave.
+        victim = subprocess.Popen(
+            _worker_argv(server.url, tmp_path, "victim", lease_delay=120), env=env
+        )
+        deadline = time.monotonic() + 120
+        campaign = None
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                pytest.fail("the victim worker exited before it could be killed")
+            ids = coordinator.campaign_ids()
+            if ids:
+                campaign = ids[0]
+                if coordinator.status(campaign)["waves"]["leased"] >= 1:
+                    break
+            time.sleep(0.01)
+        assert campaign is not None, "the victim never leased a wave"
+        victim.send_signal(signal.SIGKILL)
+        victim.wait(timeout=60)
+
+        subprocess.run(
+            _worker_argv(server.url, tmp_path, "survivor"),
+            env=env, check=True, timeout=600,
+        )
+        status = coordinator.status(campaign)
+    finally:
+        if victim is not None and victim.poll() is None:
+            victim.kill()
+        server.close()
+        coordinator.close()
+
+    assert status["complete"] is True
+    assert status["requeues"] >= 1
+    assert (tmp_path / "report-survivor.json").read_bytes() == serial_out.read_bytes()
+    # The requeue is journaled for the trace/dashboard tooling.
+    events = EventLog.read(tmp_path / "coord" / campaign / "events.jsonl")
+    assert any(event.type == "requeue" for event in events)

@@ -1,0 +1,225 @@
+"""Fleet workers against a live coordinator: byte-identity and requeue.
+
+Everything here runs in-process — a real :class:`StoreServer` with a
+:class:`CampaignCoordinator` on an ephemeral port, and workers driven by
+:func:`run_worker` on threads — so the full HTTP lease/heartbeat/complete
+path is exercised without subprocess machinery (the CI fleet job covers
+the ``kill -9`` variant through the real CLI).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.engine.jobs import CampaignSpec
+from repro.engine.runner import CampaignRunner
+from repro.engine.stream import EventLog, write_stream_report
+from repro.engine.worker import (
+    CoordinatorClient,
+    CoordinatorRequestError,
+    CoordinatorUnavailable,
+    _HeartbeatPump,
+    run_worker,
+)
+from repro.errors import ExplorationError
+from repro.service import CampaignCoordinator, LeasePolicy, StoreServer
+from repro.store import MemoryBackend
+
+
+@pytest.fixture(scope="module")
+def fleet_spec():
+    return CampaignSpec(
+        name="fleet-smoke",
+        suites=("h264",),
+        max_rows_shared=1,
+        max_cols_shared=1,
+        chunk_size=2,
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_reference(fleet_spec, tmp_path_factory):
+    """The uninterrupted single-machine streamed run every fleet must match."""
+    tmp = tmp_path_factory.mktemp("serial")
+    runner = CampaignRunner(
+        fleet_spec, cache_dir=tmp / "cache", stream_dir=tmp / "stream"
+    )
+    report, _ = runner.run()
+    return write_stream_report(tmp / "report.json", report)
+
+
+def start_fleet_server(tmp_path, policy=None):
+    coordinator = CampaignCoordinator(tmp_path / "coord", policy=policy)
+    server = StoreServer(MemoryBackend(), coordinator=coordinator)
+    server.start()
+    return coordinator, server
+
+
+def test_single_worker_fleet_matches_serial_bytes(fleet_spec, serial_reference, tmp_path):
+    coordinator, server = start_fleet_server(tmp_path)
+    try:
+        summary = run_worker(
+            fleet_spec,
+            server.url,
+            stream_dir=tmp_path / "stream-w0",
+            worker_name="solo",
+            output=tmp_path / "report-w0.json",
+            cache_dir=tmp_path / "cache-w0",
+        )
+    finally:
+        server.close()
+        coordinator.close()
+    assert summary["waves_completed"] > 0
+    assert summary["leases_lost"] == 0
+    assert summary["requeues"] == 0
+    assert summary["evaluated"] == summary["records_reported"]
+    assert (tmp_path / "report-w0.json").read_bytes() == serial_reference
+    # The coordinator journal tells the same story as a local stream would.
+    events = EventLog.read(
+        tmp_path / "coord" / summary["campaign"] / "events.jsonl", strict=True
+    )
+    types = [event.type for event in events]
+    assert types.count("lease") == summary["waves_completed"]
+    assert types[-1] == "campaign_end"
+
+
+def test_two_worker_fleet_both_reports_match_serial(fleet_spec, serial_reference, tmp_path):
+    coordinator, server = start_fleet_server(tmp_path)
+    summaries = {}
+    errors = []
+
+    def drive(tag):
+        try:
+            summaries[tag] = run_worker(
+                fleet_spec,
+                server.url,
+                stream_dir=tmp_path / f"stream-{tag}",
+                worker_name=tag,
+                output=tmp_path / f"report-{tag}.json",
+                cache_dir=tmp_path / f"cache-{tag}",
+                poll_interval=0.05,
+            )
+        except Exception as exc:  # surfaced below; threads must not die silently
+            errors.append((tag, exc))
+
+    threads = [threading.Thread(target=drive, args=(tag,)) for tag in ("w0", "w1")]
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=600)
+    finally:
+        server.close()
+        coordinator.close()
+    assert not errors, errors
+    total_waves = sum(s["waves_completed"] for s in summaries.values())
+    done = coordinator.status(summaries["w0"]["campaign"])["waves"]["done"]
+    assert total_waves == done  # every wave completed exactly once
+    # Independent finalize passes, identical bytes: the fleet is invisible.
+    assert (tmp_path / "report-w0.json").read_bytes() == serial_reference
+    assert (tmp_path / "report-w1.json").read_bytes() == serial_reference
+
+
+def test_abandoned_lease_is_requeued_and_report_still_matches(
+    fleet_spec, serial_reference, tmp_path
+):
+    """A worker that leases a wave and goes silent (our raw client) costs
+    the fleet one lease timeout; the survivor re-leases the wave and the
+    final report is still byte-identical to serial."""
+    policy = LeasePolicy(lease_timeout=0.4, heartbeat_interval=0.1, max_attempts=5)
+    coordinator, server = start_fleet_server(tmp_path, policy=policy)
+    try:
+        ghost = CoordinatorClient(server.url)
+        campaign = ghost.submit(fleet_spec.as_payload())["campaign"]
+        ghost_id = ghost.register(campaign, "ghost")["worker"]
+        grant = ghost.lease(campaign, ghost_id)
+        assert grant["status"] == "leased"
+        ghost.close()  # never heartbeats, never completes
+
+        summary = run_worker(
+            fleet_spec,
+            server.url,
+            stream_dir=tmp_path / "stream-survivor",
+            worker_name="survivor",
+            output=tmp_path / "report.json",
+            cache_dir=tmp_path / "cache-survivor",
+            poll_interval=0.05,
+        )
+    finally:
+        server.close()
+        coordinator.close()
+    assert summary["requeues"] >= 1
+    status = coordinator.status(campaign)
+    assert status["complete"] is True
+    assert (tmp_path / "report.json").read_bytes() == serial_reference
+    # The requeue is journaled: the ghost's wave shows a second attempt.
+    events = EventLog.read(tmp_path / "coord" / campaign / "events.jsonl")
+    requeues = [e for e in events if e.type == "requeue"]
+    assert requeues and requeues[0].data["lease"] == grant["lease"]
+
+
+# ----------------------------------------------------------------------
+# Client and heartbeat pump edges
+# ----------------------------------------------------------------------
+def test_client_raises_unavailable_when_nothing_listens():
+    client = CoordinatorClient("127.0.0.1:9", retries=1, backoff=0.01)
+    with pytest.raises(CoordinatorUnavailable, match="unreachable"):
+        client.status("deadbeef")
+
+
+def test_client_rejects_non_http_urls():
+    with pytest.raises(ExplorationError, match="http://"):
+        CoordinatorClient("https://coordinator.example")
+
+
+def test_heartbeat_pump_flags_a_lost_lease(fleet_spec, tmp_path):
+    coordinator, server = start_fleet_server(tmp_path)
+    try:
+        client = CoordinatorClient(server.url)
+        campaign = client.submit(fleet_spec.as_payload())["campaign"]
+        pump = _HeartbeatPump(client, campaign, "no-such-lease", interval=0.02)
+        pump.start()
+        deadline = threading.Event()
+        for _ in range(200):
+            if pump.lost:
+                break
+            deadline.wait(0.01)
+        pump.stop()
+        client.close()
+    finally:
+        server.close()
+        coordinator.close()
+    assert pump.lost is True  # the 409 stopped the pump
+
+
+def test_worker_409_surfaces_as_request_error(fleet_spec, tmp_path):
+    coordinator, server = start_fleet_server(tmp_path)
+    try:
+        client = CoordinatorClient(server.url)
+        campaign = client.submit(fleet_spec.as_payload())["campaign"]
+        with pytest.raises(CoordinatorRequestError) as err:
+            client.heartbeat(campaign, "bogus")
+        assert err.value.status == 409
+        client.close()
+    finally:
+        server.close()
+        coordinator.close()
+
+
+# ----------------------------------------------------------------------
+# CLI surface
+# ----------------------------------------------------------------------
+def test_cli_worker_mode_flag_validation(capsys):
+    from repro.engine.__main__ import main
+
+    assert main(["--suite", "h264", "--worker"]) == 2
+    assert "--coordinator" in capsys.readouterr().err
+    assert main(["--suite", "h264", "--coordinator", "127.0.0.1:1"]) == 2
+    assert "--worker" in capsys.readouterr().err
+    assert (
+        main(["--suite", "h264", "--worker", "--coordinator", "127.0.0.1:1", "--resume"])
+        == 2
+    )
+    assert "implicit" in capsys.readouterr().err

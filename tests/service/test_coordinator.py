@@ -1,0 +1,447 @@
+"""The campaign coordinator: leasing, heartbeats, requeue, recovery.
+
+State-machine coverage drives :class:`CampaignCoordinator` directly with
+an injected fake clock (no sleeps anywhere); the HTTP section runs the
+same machine behind a live :class:`StoreServer` to pin the wire contract
+of the ``/campaign`` routes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+import pytest
+
+from repro.engine.checkpoint import CampaignCheckpoint, campaign_fingerprint
+from repro.engine.jobs import CampaignSpec
+from repro.engine.stream import EventLog
+from repro.service import (
+    CampaignCoordinator,
+    CoordinatorError,
+    LeasePolicy,
+    StoreServer,
+)
+from repro.service.coordinator import CAMPAIGN_ID_CHARS, plan_waves
+from repro.store import MemoryBackend
+
+
+def small_spec(name="coord-smoke"):
+    return CampaignSpec(
+        name=name,
+        suites=("h264",),
+        max_rows_shared=1,
+        max_cols_shared=1,
+        chunk_size=2,
+    )
+
+
+def job_count(spec):
+    return sum(1 for p in spec.candidate_grid() if p.kind != "base")
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 1000.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+@pytest.fixture()
+def coordinator(tmp_path, clock):
+    with CampaignCoordinator(tmp_path / "coord", clock=clock) as coord:
+        yield coord
+
+
+def fake_records(*keys):
+    return {key: {"label": key, "area_slices": 1.0, "stalls": {}} for key in keys}
+
+
+def drain(coordinator, campaign_id, worker):
+    """Lease-and-complete until the campaign reports complete."""
+    waves = 0
+    while True:
+        grant = coordinator.lease(campaign_id, worker)
+        if grant["status"] == "complete":
+            return waves
+        assert grant["status"] == "leased"
+        coordinator.complete(
+            campaign_id,
+            grant["lease"],
+            grant["suite"],
+            grant["wave"],
+            fake_records(f"rec-{grant['suite']}-{grant['wave']}"),
+        )
+        waves += 1
+
+
+# ----------------------------------------------------------------------
+# Policy and wave planning
+# ----------------------------------------------------------------------
+def test_lease_policy_round_trips_and_validates():
+    policy = LeasePolicy(lease_timeout=12.0, heartbeat_interval=3.0, max_attempts=2)
+    assert LeasePolicy.from_dict(policy.as_dict()) == policy
+    with pytest.raises(ValueError, match="lease_timeout must be positive"):
+        LeasePolicy(lease_timeout=0.0)
+    with pytest.raises(ValueError, match="heartbeat_interval must be positive"):
+        LeasePolicy(heartbeat_interval=-1.0)
+    with pytest.raises(ValueError, match="shorter"):
+        LeasePolicy(lease_timeout=5.0, heartbeat_interval=5.0)
+    with pytest.raises(ValueError, match="max_attempts"):
+        LeasePolicy(max_attempts=0)
+
+
+def test_plan_waves_covers_the_grid_exactly_once():
+    spec = CampaignSpec(
+        name="plan",
+        suites=("dsp", "h264"),
+        max_rows_shared=1,
+        max_cols_shared=1,
+        chunk_size=2,
+    )
+    jobs = job_count(spec)
+    waves = plan_waves(spec, wave_size=2)
+    for suite in spec.suites:
+        suite_waves = sorted(
+            (w for w in waves if w.suite == suite), key=lambda w: w.index
+        )
+        covered = [index for wave in suite_waves for index in wave.indices]
+        assert covered == list(range(jobs))  # grid order, no gaps, no overlap
+        assert [w.include_base for w in suite_waves] == [True] + [False] * (
+            len(suite_waves) - 1
+        )
+    with pytest.raises(CoordinatorError) as err:
+        plan_waves(spec, wave_size=0)
+    assert err.value.status == 400
+
+
+# ----------------------------------------------------------------------
+# Submission
+# ----------------------------------------------------------------------
+def test_create_campaign_is_idempotent_by_fingerprint(coordinator):
+    spec = small_spec()
+    first = coordinator.create_campaign(spec.as_payload())
+    again = coordinator.create_campaign(spec.as_payload())
+    assert first["created"] is True
+    assert again["created"] is False
+    assert first["campaign"] == again["campaign"]
+    assert first["campaign"] == campaign_fingerprint(spec)[:CAMPAIGN_ID_CHARS]
+    assert coordinator.campaign_ids() == [first["campaign"]]
+    assert first["waves"]["pending"] == first["waves"]["total"] > 0
+
+
+def test_create_campaign_rejects_garbage(coordinator):
+    with pytest.raises(CoordinatorError) as err:
+        coordinator.create_campaign({"suites": "not-a-list"})
+    assert err.value.status == 400
+
+
+def test_unknown_campaign_is_404(coordinator):
+    with pytest.raises(CoordinatorError) as err:
+        coordinator.status("deadbeef")
+    assert err.value.status == 404
+
+
+# ----------------------------------------------------------------------
+# Lease / heartbeat / complete
+# ----------------------------------------------------------------------
+def test_lease_complete_happy_path(coordinator):
+    spec = small_spec()
+    campaign = coordinator.create_campaign(spec.as_payload())["campaign"]
+    worker = coordinator.register(campaign, "alice")["worker"]
+    assert worker.startswith("alice-")
+
+    grant = coordinator.lease(campaign, worker)
+    assert grant["status"] == "leased"
+    assert grant["suite"] == "h264"
+    assert grant["wave"] == 0
+    assert grant["include_base"] is True
+    assert grant["attempt"] == 1
+    assert grant["indices"] == list(range(len(grant["indices"])))
+
+    assert coordinator.heartbeat(campaign, grant["lease"])["status"] == "ok"
+
+    outcome = coordinator.complete(
+        campaign, grant["lease"], "h264", 0, fake_records("a", "b")
+    )
+    assert outcome == {
+        "status": "ok",
+        "duplicate": False,
+        "lease_valid": True,
+        "records": 2,
+        "campaign_complete": False,
+    }
+    status = coordinator.status(campaign)
+    assert status["waves"]["done"] == 1
+    assert status["records"] == 2
+    assert status["workers"][worker] == {"name": "alice", "leases": 1, "completed": 1}
+
+
+def test_duplicate_completion_is_harmless(coordinator):
+    campaign = coordinator.create_campaign(small_spec().as_payload())["campaign"]
+    worker = coordinator.register(campaign)["worker"]
+    grant = coordinator.lease(campaign, worker)
+    first = coordinator.complete(campaign, grant["lease"], "h264", 0, fake_records("a"))
+    second = coordinator.complete(campaign, grant["lease"], "h264", 0, fake_records("a"))
+    assert first["duplicate"] is False
+    assert second["duplicate"] is True
+    assert second["lease_valid"] is False  # the first completion consumed it
+    assert coordinator.status(campaign)["records"] == 1  # content-hash dedup
+
+
+def test_complete_validates_its_records_and_wave(coordinator):
+    campaign = coordinator.create_campaign(small_spec().as_payload())["campaign"]
+    with pytest.raises(CoordinatorError) as err:
+        coordinator.complete(campaign, None, "h264", 0, {"key": "not-a-dict"})
+    assert err.value.status == 400
+    with pytest.raises(CoordinatorError) as err:
+        coordinator.complete(campaign, None, "h264", 999, fake_records("a"))
+    assert err.value.status == 404
+
+
+def test_draining_every_wave_completes_the_campaign(coordinator, tmp_path):
+    spec = small_spec()
+    campaign = coordinator.create_campaign(spec.as_payload(), wave_size=2)["campaign"]
+    worker = coordinator.register(campaign)["worker"]
+    expected_waves = len(plan_waves(spec, 2))
+    assert drain(coordinator, campaign, worker) == expected_waves
+    status = coordinator.status(campaign)
+    assert status["complete"] is True
+    assert status["waves"]["done"] == expected_waves
+    # The journal carries the full story and replays strictly.
+    events = EventLog.read(
+        tmp_path / "coord" / campaign / "events.jsonl", strict=True
+    )
+    types = [event.type for event in events]
+    assert types[0] == "campaign_start"
+    assert types[-1] == "campaign_end"
+    assert types.count("lease") == expected_waves
+    assert types.count("wave_end") == expected_waves
+
+
+# ----------------------------------------------------------------------
+# Expiry and requeue
+# ----------------------------------------------------------------------
+def test_silent_worker_lease_expires_and_requeues(coordinator, clock):
+    campaign = coordinator.create_campaign(small_spec().as_payload())["campaign"]
+    dead = coordinator.register(campaign, "dead")["worker"]
+    live = coordinator.register(campaign, "live")["worker"]
+
+    grant = coordinator.lease(campaign, dead)
+    clock.advance(coordinator.policy.lease_timeout + 1)
+
+    regrant = coordinator.lease(campaign, live)
+    assert regrant["status"] == "leased"
+    assert (regrant["suite"], regrant["wave"]) == (grant["suite"], grant["wave"])
+    assert regrant["attempt"] == 2
+    assert regrant["lease"] != grant["lease"]
+    assert coordinator.status(campaign)["requeues"] == 1
+
+    # The dead worker's lease is gone: its heartbeat gets the 409.
+    with pytest.raises(CoordinatorError) as err:
+        coordinator.heartbeat(campaign, grant["lease"])
+    assert err.value.status == 409
+
+
+def test_heartbeats_keep_a_lease_alive_indefinitely(coordinator, clock):
+    campaign = coordinator.create_campaign(small_spec().as_payload())["campaign"]
+    worker = coordinator.register(campaign)["worker"]
+    grant = coordinator.lease(campaign, worker)
+    for _ in range(5):
+        clock.advance(coordinator.policy.lease_timeout - 1)
+        assert coordinator.heartbeat(campaign, grant["lease"])["status"] == "ok"
+    assert coordinator.status(campaign)["requeues"] == 0
+
+
+def test_late_completion_after_expiry_still_lands(coordinator, clock):
+    """A worker that lost its lease mid-evaluation may still report: the
+    records are content-addressed and the merge is idempotent."""
+    campaign = coordinator.create_campaign(small_spec().as_payload())["campaign"]
+    worker = coordinator.register(campaign)["worker"]
+    grant = coordinator.lease(campaign, worker)
+    clock.advance(coordinator.policy.lease_timeout + 1)
+    outcome = coordinator.complete(
+        campaign, grant["lease"], grant["suite"], grant["wave"], fake_records("late")
+    )
+    assert outcome["duplicate"] is False  # first completion wins, even late
+    assert outcome["lease_valid"] is False
+    status = coordinator.status(campaign)
+    assert status["requeues"] == 1
+    assert status["waves"]["done"] == 1
+    assert status["records"] == 1
+
+
+def test_a_wave_that_kills_every_worker_fails_the_campaign(tmp_path, clock):
+    policy = LeasePolicy(lease_timeout=10.0, heartbeat_interval=1.0, max_attempts=2)
+    with CampaignCoordinator(tmp_path / "coord", policy=policy, clock=clock) as coord:
+        campaign = coord.create_campaign(small_spec().as_payload())["campaign"]
+        worker = coord.register(campaign)["worker"]
+        for _ in range(policy.max_attempts):
+            assert coord.lease(campaign, worker)["status"] == "leased"
+            clock.advance(policy.lease_timeout + 1)
+        grant = coord.lease(campaign, worker)
+        assert grant["status"] == "failed"
+        assert "exhausted" in grant["detail"]
+        assert coord.status(campaign)["failed"] is not None
+
+
+# ----------------------------------------------------------------------
+# Restart recovery
+# ----------------------------------------------------------------------
+def test_coordinator_restart_recovers_waves_requeues_and_records(tmp_path, clock):
+    root = tmp_path / "coord"
+    spec = small_spec()
+    with CampaignCoordinator(root, clock=clock) as coord:
+        campaign = coord.create_campaign(spec.as_payload(), wave_size=2)["campaign"]
+        worker = coord.register(campaign)["worker"]
+        # One completed wave, one expired lease, one in-flight lease.
+        done = coord.lease(campaign, worker)
+        coord.complete(campaign, done["lease"], done["suite"], done["wave"], fake_records("a", "b"))
+        expired = coord.lease(campaign, worker)
+        clock.advance(coord.policy.lease_timeout + 1)
+        coord.status(campaign)  # sweeps the deadline -> requeue journaled
+        in_flight = coord.lease(campaign, worker)
+        before = coord.status(campaign)
+        assert before["waves"]["done"] == 1
+        assert before["requeues"] == 1
+
+    with CampaignCoordinator(root, clock=clock) as reborn:
+        assert reborn.campaign_ids() == [campaign]
+        status = reborn.status(campaign)
+        # Completed waves stay completed, requeues are remembered, but
+        # in-flight leases are forgotten (their waves lease again).
+        assert status["waves"]["done"] == 1
+        assert status["waves"]["leased"] == 0
+        assert status["requeues"] == 1
+        assert status["records"] == 2
+        with pytest.raises(CoordinatorError) as err:
+            reborn.heartbeat(campaign, in_flight["lease"])
+        assert err.value.status == 409
+        # The forgotten wave leases again and the campaign still drains.
+        worker = reborn.register(campaign)["worker"]
+        drain(reborn, campaign, worker)
+        assert reborn.status(campaign)["complete"] is True
+        # The reopened journal continued the sequence, strictly readable.
+        events = EventLog.read(root / campaign / "events.jsonl", strict=True)
+        assert [event.type for event in events][-1] == "campaign_end"
+    # The merged checkpoint is the PR 5 substrate, fingerprint intact.
+    checkpoint = CampaignCheckpoint.load(root / campaign / "checkpoint.json")
+    assert checkpoint.fingerprint == campaign_fingerprint(spec)
+    assert checkpoint.total_records >= 2
+    assert expired["lease"] != in_flight["lease"]
+
+
+# ----------------------------------------------------------------------
+# The HTTP wire contract
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def fleet_server(tmp_path, clock):
+    coordinator = CampaignCoordinator(tmp_path / "coord", clock=clock)
+    with StoreServer(MemoryBackend(), coordinator=coordinator) as live:
+        yield live
+    coordinator.close()
+
+
+@pytest.fixture()
+def http_request(fleet_server):
+    connection = http.client.HTTPConnection(
+        fleet_server.host, fleet_server.port, timeout=10
+    )
+
+    def request(method, path, document=None):
+        body = None if document is None else json.dumps(document).encode()
+        headers = {} if body is None else {"Content-Type": "application/json"}
+        connection.request(method, path, body=body, headers=headers)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read() or b"{}")
+
+    yield request
+    connection.close()
+
+
+def test_http_fleet_round_trip(http_request):
+    spec = small_spec("http-smoke")
+    status, created = http_request(
+        "POST", "/campaign", {"spec": spec.as_payload(), "wave_size": 2}
+    )
+    assert status == 200 and created["created"] is True
+    campaign = created["campaign"]
+
+    status, registered = http_request(
+        "POST", f"/campaign/{campaign}/register", {"worker": "w"}
+    )
+    assert status == 200
+    worker = registered["worker"]
+
+    status, grant = http_request(
+        "POST", f"/campaign/{campaign}/lease", {"worker": worker}
+    )
+    assert status == 200 and grant["status"] == "leased"
+
+    status, beat = http_request(
+        "POST", f"/campaign/{campaign}/heartbeat", {"lease": grant["lease"]}
+    )
+    assert status == 200 and beat["status"] == "ok"
+
+    status, outcome = http_request(
+        "POST",
+        f"/campaign/{campaign}/complete",
+        {
+            "lease": grant["lease"],
+            "suite": grant["suite"],
+            "wave": grant["wave"],
+            "records": fake_records("a"),
+        },
+    )
+    assert status == 200 and outcome["lease_valid"] is True
+
+    status, doc = http_request("GET", f"/campaign/{campaign}")
+    assert status == 200 and doc["waves"]["done"] == 1
+
+    status, checkpoint = http_request("GET", f"/campaign/{campaign}/checkpoint")
+    assert status == 200
+    assert "a" in checkpoint["suites"][grant["suite"]]["records"]
+
+
+def test_http_coordinator_errors_map_to_statuses(http_request):
+    status, body = http_request("GET", "/campaign/deadbeef")
+    assert status == 404
+    status, body = http_request("POST", "/campaign", {"spec": "nope"})
+    assert status == 400
+    status, body = http_request("GET", "/campaign")  # submission is POST-only
+    assert status == 405
+    spec = small_spec("http-errors")
+    _, created = http_request("POST", "/campaign", {"spec": spec.as_payload()})
+    campaign = created["campaign"]
+    status, body = http_request(
+        "POST", f"/campaign/{campaign}/heartbeat", {"lease": "no-such-lease"}
+    )
+    assert status == 409
+    assert "not active" in body["error"]
+
+
+def test_service_without_coordinator_404s_campaign_routes(tmp_path):
+    with StoreServer(MemoryBackend()) as live:
+        connection = http.client.HTTPConnection(live.host, live.port, timeout=10)
+        try:
+            connection.request(
+                "POST",
+                "/campaign",
+                body=json.dumps({"spec": small_spec().as_payload()}).encode(),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read())
+            assert response.status == 404
+            assert "no coordinator" in payload["error"]
+        finally:
+            connection.close()

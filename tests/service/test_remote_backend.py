@@ -243,3 +243,43 @@ def test_head_errors_do_not_desynchronise_keepalive(server):
             assert b"ok" in response.read()
     finally:
         connection.close()
+
+
+def test_offline_trips_count_one_per_outage_under_contention():
+    """The offline window is checked and tripped under one lock: a stampede
+    of threads hitting a dead server opens exactly one degraded window
+    (and a second outage after the grace expires opens exactly one more)."""
+    import threading
+
+    clock = [0.0]
+    client = RemoteBackend(
+        f"http://127.0.0.1:{_free_port()}",
+        retries=1,
+        backoff=0.0,
+        offline_grace=10.0,
+        sleep=lambda _: None,
+        clock=lambda: clock[0],
+    )
+
+    def stampede():
+        barrier = threading.Barrier(8)
+
+        def hammer(index):
+            barrier.wait(timeout=10.0)
+            for attempt in range(5):
+                client.get("ns", hex_key(index * 10 + attempt))
+
+        threads = [threading.Thread(target=hammer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30.0)
+
+    stampede()
+    assert client.offline
+    assert client.offline_trips == 1
+
+    clock[0] = 11.0  # grace expired; the server is still dead
+    stampede()
+    assert client.offline_trips == 2
+    client.close()

@@ -200,3 +200,44 @@ def test_delete_waits_out_an_in_flight_flush_batch():
     assert not slow.contains("ns", hex_key(1)), "in-flight flush resurrected the key"
     assert not tier.contains("ns", hex_key(1))
     tier.close()
+
+
+def test_close_deadline_strands_queued_records_loudly():
+    """A wedged slow tier cannot hold close() hostage: at the drain
+    deadline the still-queued records are counted into dropped_records
+    and reported with a RuntimeWarning — never dropped silently."""
+    import threading
+    import warnings
+
+    class WedgedBackend(MemoryBackend):
+        def __init__(self):
+            super().__init__()
+            self.entered = threading.Event()
+            self.release = threading.Event()
+
+        def put_many(self, namespace, records):
+            self.entered.set()
+            assert self.release.wait(timeout=30.0), "test never released the gate"
+            return super().put_many(namespace, records)
+
+    slow = WedgedBackend()
+    tier = TieredBackend(slow, batch_size=1, auto_flush=False)
+    for index in range(3):
+        tier.put("ns", hex_key(index), {"v": index})
+
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        closer = threading.Thread(target=lambda: tier.close(timeout=0.2))
+        closer.start()
+        assert slow.entered.wait(timeout=5.0)  # close is writing batch 1
+        time.sleep(0.3)  # let the drain deadline expire mid-write
+        slow.release.set()
+        closer.join(timeout=10.0)
+        assert not closer.is_alive()
+
+    assert slow.contains("ns", hex_key(0))  # the in-flight batch landed
+    assert tier.dropped_records == 2  # the queued ones were stranded
+    messages = [str(w.message) for w in caught if w.category is RuntimeWarning]
+    assert any("2 queued record(s) dropped" in message for message in messages)
+    # The stranded values are still recomputable and still served locally.
+    assert tier.front.contains("ns", hex_key(2))
