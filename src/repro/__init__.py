@@ -13,6 +13,8 @@ The package is organised as:
 * :mod:`repro.synthesis` — the analytical synthesis surrogate and published reference data,
 * :mod:`repro.eval`      — regeneration of the paper's tables and figures,
 * :mod:`repro.flow`      — the end-to-end RSP design flow of paper Figure 7,
+* :mod:`repro.flowgraph` — the declarative flow-graph runtime executing the
+  mapping stages as a composable DAG,
 * :mod:`repro.engine`    — parallel, cache-backed exploration campaigns
   (``python -m repro.engine``).
 
@@ -25,6 +27,11 @@ Quick start::
     mapper = RSPMapper()
     result = mapper.map_kernel(get_kernel("MVM"), rsp_architecture(2))
     print(result.cycles, result.stall_cycles)
+
+The package root re-exports the stable public surface (``repro.RSPMapper``,
+``repro.Flow``, ``repro.CampaignRunner``, …); everything in ``__all__``
+resolves lazily, so ``import repro`` stays cheap and subsystem imports only
+happen when their names are touched.
 """
 
 from repro.errors import (
@@ -45,9 +52,73 @@ from repro.errors import (
     UnknownKernelError,
     UnknownOperationError,
 )
+from repro.errors import (
+    FlowError,
+    FlowExecutionError,
+    FlowParseError,
+    FlowRoutingError,
+    FlowValidationError,
+)
 from repro.flow import FlowOutcome, run_rsp_flow
 
 __version__ = "1.0.0"
+
+#: Lazily-resolved public surface: name -> home module.  PEP 562 keeps
+#: ``import repro`` from dragging in numpy-heavy subsystems until a name
+#: is actually touched, while ``from repro import RSPMapper`` and friends
+#: remain the documented, stable spellings.
+_PUBLIC_API = {
+    # architecture + kernels
+    "ArchitectureSpec": "repro.arch.template",
+    "base_architecture": "repro.arch",
+    "rsp_architecture": "repro.arch",
+    "get_kernel": "repro.kernels",
+    # mapping pipeline
+    "RSPMapper": "repro.mapping.mapper",
+    "MappingPipeline": "repro.mapping.pipeline",
+    "MappingResult": "repro.mapping.pipeline",
+    # flow-graph runtime
+    "Flow": "repro.flowgraph.core",
+    "FlowContext": "repro.flowgraph.core",
+    "Node": "repro.flowgraph.core",
+    "NodeEvent": "repro.flowgraph.core",
+    "RetryPolicy": "repro.flowgraph.core",
+    "Selector": "repro.flowgraph.core",
+    "stage_key": "repro.flowgraph.core",
+    "parse_edges": "repro.flowgraph.dsl",
+    "render_edges": "repro.flowgraph.dsl",
+    "flow_from_config": "repro.flowgraph.config",
+    "load_flow_config": "repro.flowgraph.config",
+    "build_mapping_flow": "repro.flowgraph.mapping",
+    # per-node accounting
+    "Artifact": "repro.flowgraph.stats",
+    "PipelineStats": "repro.flowgraph.stats",
+    "StageTiming": "repro.flowgraph.stats",
+    "stage_timings_as_dict": "repro.flowgraph.stats",
+    # observers
+    "CampaignObserver": "repro.observers",
+    "MultiObserver": "repro.observers",
+    "compose_observers": "repro.observers",
+    # engine
+    "ArtifactStore": "repro.engine.artifacts",
+    "CampaignRunner": "repro.engine.runner",
+    "CampaignReport": "repro.engine.runner",
+    "CampaignSpec": "repro.engine.jobs",
+}
+
+
+def __getattr__(name: str):
+    module_name = _PUBLIC_API.get(name)
+    if module_name is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_name), name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_PUBLIC_API))
+
 
 __all__ = [
     "ArchitectureError",
@@ -57,6 +128,11 @@ __all__ = [
     "DFGError",
     "DFGValidationError",
     "ExplorationError",
+    "FlowError",
+    "FlowExecutionError",
+    "FlowParseError",
+    "FlowRoutingError",
+    "FlowValidationError",
     "KernelError",
     "MappingError",
     "PlacementError",
@@ -69,4 +145,5 @@ __all__ = [
     "FlowOutcome",
     "run_rsp_flow",
     "__version__",
+    *sorted(_PUBLIC_API),
 ]

@@ -237,6 +237,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(failure-injection hook: widens the mid-wave kill window)",
     )
     parser.add_argument(
+        "--flow",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="custom mapping-flow config (JSON; see repro.flowgraph.config): "
+        "the campaign's pipeline executes this flow instead of the "
+        "canonical five-node mapping flow, after each suite the kernels "
+        "are mapped onto the selected design point so routed/raced nodes "
+        "land in mapping_stages, and the report gains a 'flow' block",
+    )
+    parser.add_argument(
         "--output", type=Path, default=None, help="write the JSON campaign report here"
     )
     parser.add_argument("--quiet", action="store_true", help="suppress the summary table")
@@ -388,6 +399,8 @@ def _run(args: argparse.Namespace) -> int:
         elif not args.no_cache:
             artifact_dir = args.cache_dir
     if args.worker:
+        if args.flow is not None:
+            raise ReproError("--flow is not supported in worker mode yet")
         return _run_worker_mode(args, spec, artifact_dir)
     runner = CampaignRunner(
         spec,
@@ -402,6 +415,7 @@ def _run(args: argparse.Namespace) -> int:
         resume=args.resume,
         trace_dir=args.trace,
         batch=args.batch,
+        flow=args.flow,
     )
     try:
         report, _ = runner.run()
@@ -436,6 +450,12 @@ def _run(args: argparse.Namespace) -> int:
             + (f"  [{stage_summary}]" if stage_summary else "")
         )
         print(_store_summary(report))
+        if report.flow:
+            print(
+                f"flow: {report.flow['name']}  "
+                f"nodes: {', '.join(report.flow['nodes'])}  "
+                f"edges: {' ; '.join(report.flow['edges'])}"
+            )
         if runner.stream_summary is not None:
             facts = runner.stream_summary
             print(

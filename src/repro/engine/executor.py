@@ -46,6 +46,7 @@ from repro.engine.cache import EvaluationCache, rehydrate_evaluation
 from repro.engine.frontier import ParetoFrontier
 from repro.engine.jobs import EvaluationJob, evaluation_context_hash
 from repro.errors import ExplorationError
+from repro.observers import CampaignObserver
 from repro.trace.spans import Tracer, get_tracer, set_tracer
 
 #: Backends accepted by :class:`ExecutorConfig`.
@@ -156,26 +157,19 @@ class WaveOutcome:
     rejected: Tuple[Tuple[int, str], ...] = ()
 
 
-class WaveObserver:
+class WaveObserver(CampaignObserver):
     """No-op base class for wave-level observers (subclass what you need).
 
-    The engine calls :meth:`wave_started` immediately before dispatching a
-    wave and :meth:`wave_finished` after its results (including cache hits
+    Since the observer unification this is an alias of the repo-wide
+    :class:`repro.observers.CampaignObserver` protocol, kept under its
+    historical name for the engine-facing surface.  The engine calls
+    :meth:`wave_started` immediately before dispatching a wave and
+    :meth:`wave_finished` after its results (including cache hits
     discovered while assembling it) are in.  :meth:`base_evaluated` fires
     once per exploration for the up-front base-point job, which never
-    travels through a wave.
+    travels through a wave.  Subclasses may additionally override
+    :meth:`node_finished` to watch flow-graph node materialisations.
     """
-
-    def wave_started(self, wave_index: int, job_count: int) -> None:  # pragma: no cover
-        pass
-
-    def wave_finished(self, outcome: WaveOutcome) -> None:  # pragma: no cover
-        pass
-
-    def base_evaluated(
-        self, key: str, evaluation: DesignPointEvaluation, source: str, feasible: bool
-    ) -> None:  # pragma: no cover
-        pass
 
 
 @dataclass

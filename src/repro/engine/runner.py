@@ -46,7 +46,7 @@ from repro.engine.jobs import CampaignSpec, evaluation_context_hash, suite_kerne
 from repro.engine.stream import AsyncPrefetcher, CampaignStreamController
 from repro.ir.loops import Kernel
 from repro.mapping.mapper import RSPMapper
-from repro.mapping.pipeline import stage_timings_as_dict
+from repro.flowgraph.stats import merge_stage_timings, stage_timings_as_dict
 
 #: Hook supplying the base-schedule profiles of one suite.  Receives the
 #: suite name and its kernels; returns profiles keyed by kernel name.
@@ -116,6 +116,10 @@ class CampaignReport:
     store_stats: Dict[str, object] = field(default_factory=dict)
     #: Total evaluation waves across all suites.
     waves: int = 0
+    #: Flow block of a custom-flow campaign (``{}`` on the canonical
+    #: flow): the executing flow's name, edge expressions and node names,
+    #: straight from :meth:`~repro.mapping.pipeline.MappingPipeline.describe_flow`.
+    flow: Dict[str, object] = field(default_factory=dict)
     #: Trace block of a traced run (``{}`` otherwise): the trace DB path,
     #: spans flushed and counter totals — the same numbers
     #: ``python -m repro.trace summary`` reads back from that DB.
@@ -231,6 +235,17 @@ class CampaignRunner:
         ``python -m repro.trace`` renders as dashboards.  May be the same
         directory as ``stream_dir`` — the DB then sits next to the event
         journal.  Untraced runs keep the no-op tracer and pay nothing.
+    flow:
+        Custom mapping flow for the campaign — a flow config (dict or
+        JSON path, see :mod:`repro.flowgraph.config`) or a pre-built
+        :class:`~repro.flowgraph.core.Flow`.  The runner's pipeline then
+        executes that flow instead of the canonical five-node mapping
+        flow, the report gains a ``flow`` block describing it, and after
+        each suite's exploration the kernels are additionally mapped onto
+        the selected design point, so conditionally routed / raced nodes
+        (``rearrange`` vs ``remap`` vs skip) show up in the suite's
+        ``mapping_stages``.  Incompatible with ``mapper`` (a supplied
+        mapper already carries its pipeline and flow).
     batch:
         Vectorized-evaluation override forwarded to
         :class:`~repro.engine.executor.ExecutorConfig`: ``None`` engages
@@ -264,7 +279,13 @@ class CampaignRunner:
         resume: bool = False,
         trace_dir: Optional[Path] = None,
         batch: Optional[bool] = None,
+        flow=None,
     ) -> None:
+        if mapper is not None and flow is not None:
+            raise ValueError(
+                "a supplied mapper already carries its pipeline and flow; "
+                "pass flow= only when the runner builds the mapper"
+            )
         if store_url is not None and (cache_dir is not None or artifact_dir is not None):
             raise ValueError(
                 "store_url replaces the local stores; drop cache_dir/artifact_dir"
@@ -297,12 +318,13 @@ class CampaignRunner:
             if store_tier:
                 self._tier = TieredBackend(self._remote)
                 self._store_backend = self._tier
+        self.flow = flow
         if mapper is None:
             if self._store_backend is not None:
                 store = ArtifactStore(backend=self._store_backend)
             else:
                 store = ArtifactStore(self.artifact_dir, shards=store_shards)
-            mapper = RSPMapper(store=store)
+            mapper = RSPMapper(store=store, flow=flow)
         self.mapper = mapper
         self.pipeline = mapper.pipeline
         self.profile_provider: ProfileProvider = profile_provider or self._pipeline_profiles
@@ -326,7 +348,7 @@ class CampaignRunner:
         stream_observer = stream.suite_observer(suite_name) if stream is not None else None
         if collector is None:
             return stream_observer
-        from repro.trace.collect import compose_observers
+        from repro.observers import compose_observers
 
         return compose_observers(collector.observer(suite_name), stream_observer)
 
@@ -418,9 +440,18 @@ class CampaignRunner:
                 suite_span = collector.tracer.span(
                     suite_name, kind="suite", suite=suite_name
                 )
+            observer = self._suite_observer(collector, stream, suite_name)
             profile_started = time.perf_counter()
             kernels = suite_kernels(suite_name)
-            profiles = self.profile_provider(suite_name, kernels)
+            # The same composed observer watches the suite end to end: the
+            # mapping flow's node events while profiles build, then the
+            # engine's waves.  Restored before the next suite's background
+            # artifact prefetch can run.
+            self.pipeline.observer = observer
+            try:
+                profiles = self.profile_provider(suite_name, kernels)
+            finally:
+                self.pipeline.observer = None
             profile_seconds = time.perf_counter() - profile_started
             stage_delta = self.pipeline.stats.since(stage_snapshot)
             if collector is not None:
@@ -475,7 +506,7 @@ class CampaignRunner:
                 completed_records=(
                     stream.completed_records(suite_name) if stream is not None else None
                 ),
-                observer=self._suite_observer(collector, stream, suite_name),
+                observer=observer,
                 prefetcher=prefetcher,
             )
             exploration = outcome.result
@@ -485,6 +516,22 @@ class CampaignRunner:
                 stream.suite_finished(suite_name)
 
             selected = exploration.selected
+            if self.flow is not None and selected is not None:
+                # Custom flows earn their keep below the profile stages:
+                # map the suite onto the selected design point so the
+                # routed/raced branches (rearrange vs remap vs skip) run
+                # and land in this suite's mapping_stages block.
+                if artifact_prefetch is not None:
+                    # The pipeline is not thread-safe against the next
+                    # suite's background artifact warm-up.
+                    artifact_prefetch.wait()
+                    artifact_prefetch = None
+                route_snapshot = self.pipeline.stats.snapshot()
+                for kernel in kernels:
+                    self.pipeline.run(kernel, selected.architecture)
+                stage_delta = merge_stage_timings(
+                    stage_delta, self.pipeline.stats.since(route_snapshot)
+                )
             suite_reports.append(
                 SuiteReport(
                     suite=suite_name,
@@ -575,6 +622,7 @@ class CampaignRunner:
             store_stats=self._store_stats_block(caches, janitor_block),
             waves=totals.waves,
             trace=trace_block,
+            flow=self.pipeline.describe_flow() if self.flow is not None else {},
         )
         if stream is not None:
             stream.campaign_finished(checkpoint_hits=totals.checkpoint_hits)

@@ -1,0 +1,196 @@
+"""Build :class:`~repro.flowgraph.core.Flow` objects from JSON/dict configs.
+
+A flow config is declarative data — it names which *registered* nodes
+participate and how they wire up, without carrying any code::
+
+    {
+      "name": "skip_rearrange",
+      "edges": [
+        "build_dfg >> base_schedule >> extract_profile",
+        "base_schedule >> (rearrange | passthrough) >> generate_context"
+      ],
+      "nodes": {
+        "rearrange":   {"when": "!profile_balanced", "retry": {"max_attempts": 2}},
+        "passthrough": {"when": "profile_balanced"}
+      },
+      "select": {"rearranged": {"metric": "summary.cycles", "mode": "min"}}
+    }
+
+The *registry* maps node names to factories producing fresh
+:class:`~repro.flowgraph.core.Node` objects; the *conditions* table maps
+predicate names (usable with a leading ``!`` for negation) to
+``ctx -> bool`` callables.  The mapping domain's registry and conditions
+live in :mod:`repro.flowgraph.mapping`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Callable, Dict, Mapping, Optional, Sequence, Union
+
+from repro.errors import FlowValidationError
+from repro.flowgraph.core import Flow, FlowContext, Node, RetryPolicy, Selector
+from repro.flowgraph.dsl import parse_edges
+
+ConfigSource = Union[str, Path, Mapping[str, Any]]
+
+_FLOW_KEYS = {"name", "description", "edges", "nodes", "select", "inputs"}
+_NODE_KEYS = {"when", "retry", "persistent"}
+_RETRY_KEYS = {"max_attempts", "backoff_s"}
+_SELECT_KEYS = {"metric", "mode"}
+
+
+def load_flow_config(source: ConfigSource) -> Dict[str, Any]:
+    """Read a flow config from a dict, a JSON string of a path, or a path."""
+    if isinstance(source, Mapping):
+        return dict(source)
+    path = Path(source)
+    try:
+        data = json.loads(path.read_text())
+    except OSError as error:
+        raise FlowValidationError(f"cannot read flow config {path}: {error}") from error
+    except json.JSONDecodeError as error:
+        raise FlowValidationError(f"flow config {path} is not valid JSON: {error}") from error
+    if not isinstance(data, dict):
+        raise FlowValidationError(
+            f"flow config {path} must hold a JSON object, not {type(data).__name__}"
+        )
+    return data
+
+
+def _reject_unknown(keys: Sequence[str], allowed: set, where: str) -> None:
+    unknown = [key for key in keys if key not in allowed]
+    if unknown:
+        raise FlowValidationError(
+            f"{where} has unknown key(s) {unknown}; allowed: {sorted(allowed)}"
+        )
+
+
+def resolve_condition(
+    name: str, conditions: Mapping[str, Callable[[FlowContext], bool]]
+) -> Callable[[FlowContext], bool]:
+    """Look up a condition by name; a leading ``!`` negates it."""
+    negated = name.startswith("!")
+    bare = name[1:] if negated else name
+    if bare not in conditions:
+        raise FlowValidationError(
+            f"unknown flow condition {bare!r}; available: {sorted(conditions)}"
+        )
+    predicate = conditions[bare]
+    if not negated:
+        return predicate
+
+    def negation(ctx: FlowContext) -> bool:
+        return not predicate(ctx)
+
+    return negation
+
+
+def _selector_from_config(output: str, spec: Any) -> Selector:
+    if isinstance(spec, str):
+        return Selector(metric=spec)
+    if isinstance(spec, Mapping):
+        _reject_unknown(list(spec), _SELECT_KEYS, f"selector for output {output!r}")
+        if "metric" not in spec:
+            raise FlowValidationError(
+                f"selector for output {output!r} needs a 'metric' attribute path"
+            )
+        return Selector(metric=spec["metric"], mode=spec.get("mode", "min"))
+    raise FlowValidationError(
+        f"selector for output {output!r} must be a metric string or an object, "
+        f"not {type(spec).__name__}"
+    )
+
+
+def flow_from_config(
+    source: ConfigSource,
+    *,
+    registry: Mapping[str, Callable[[], Node]],
+    conditions: Optional[Mapping[str, Callable[[FlowContext], bool]]] = None,
+    inputs: Sequence[str] = (),
+    name: str = "flow",
+) -> Flow:
+    """Instantiate a validated :class:`Flow` from a config.
+
+    Every node named in ``edges`` is built fresh from ``registry``; the
+    optional per-node config overrides its routing condition
+    (``"when": "name"`` / ``"!name"`` resolved in ``conditions``), retry
+    policy, and persistence.  ``select`` declares the winner metric of
+    raced outputs.  All structural problems raise
+    :class:`~repro.errors.FlowValidationError` naming the offending node
+    and edge expression.
+    """
+    config = load_flow_config(source)
+    _reject_unknown(list(config), _FLOW_KEYS, "flow config")
+    if "edges" not in config:
+        raise FlowValidationError(
+            "flow config needs an 'edges' entry (an edge expression or a list of them)"
+        )
+    graph = parse_edges(config["edges"])
+
+    node_configs = config.get("nodes", {})
+    if not isinstance(node_configs, Mapping):
+        raise FlowValidationError("flow config 'nodes' must map node names to objects")
+    for configured in node_configs:
+        if configured not in graph.nodes:
+            raise FlowValidationError(
+                f"flow config configures node {configured!r}, which no edge "
+                f"expression mentions (expressions: {graph.expressions})"
+            )
+
+    conditions = conditions or {}
+    nodes = []
+    for node_name in graph.nodes:
+        factory = registry.get(node_name)
+        if factory is None:
+            mentions = [text for text in graph.expressions if node_name in text]
+            raise FlowValidationError(
+                f"no registered node named {node_name!r} "
+                f"(edge expression {mentions[0]!r}; "
+                f"registered: {sorted(registry)})"
+            )
+        node = factory() if callable(factory) else factory
+        overrides = node_configs.get(node_name, {})
+        _reject_unknown(list(overrides), _NODE_KEYS, f"config of node {node_name!r}")
+        if "when" in overrides:
+            label = overrides["when"]
+            if not isinstance(label, str):
+                raise FlowValidationError(
+                    f"node {node_name!r}: 'when' must be a condition name string"
+                )
+            node.when = resolve_condition(label, conditions)
+            node.when_label = label
+        if "retry" in overrides:
+            retry = overrides["retry"]
+            if not isinstance(retry, Mapping):
+                raise FlowValidationError(
+                    f"node {node_name!r}: 'retry' must be an object with "
+                    f"{sorted(_RETRY_KEYS)}"
+                )
+            _reject_unknown(list(retry), _RETRY_KEYS, f"retry policy of node {node_name!r}")
+            node.retry = RetryPolicy(
+                max_attempts=retry.get("max_attempts", 1),
+                backoff_s=retry.get("backoff_s", 0.0),
+            )
+        if "persistent" in overrides:
+            node.persistent = bool(overrides["persistent"])
+        nodes.append(node)
+
+    select = {
+        output: _selector_from_config(output, spec)
+        for output, spec in (config.get("select") or {}).items()
+    }
+    flow_inputs = list(inputs)
+    for extra in config.get("inputs", ()):
+        if extra not in flow_inputs:
+            flow_inputs.append(extra)
+
+    return Flow(
+        nodes,
+        graph,
+        name=config.get("name", name),
+        inputs=flow_inputs,
+        select=select,
+        description=config.get("description", ""),
+    )

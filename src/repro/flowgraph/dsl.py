@@ -1,0 +1,295 @@
+"""Edge-expression DSL: ``"a >> b >> (c | d) >> e"`` → a validated edge set.
+
+Grammar (whitespace-insensitive)::
+
+    expression := chain
+    chain      := group (">>" group)*
+    group      := NAME | "(" alternatives ")"
+    alternatives := chain ("|" chain)*
+    NAME       := [A-Za-z_][A-Za-z0-9_]*
+
+``a >> b`` declares the edge a→b.  A parenthesised group is an
+*alternative group*: exactly one branch contributes per run (conditional
+routing or a race — the runtime decides from the member nodes' ``when``
+predicates and the flow's selectors).  Chains fan out into and join out of
+groups: ``a >> (b | c) >> d`` yields the edges a→b, a→c, b→d, c→d, and the
+alternative group ``{b, c}``.  Branches may themselves be chains:
+``a >> (b >> c | d) >> e`` races the two-step branch b→c against d.
+
+:func:`parse_edges` returns an :class:`EdgeGraph`; :func:`render_edges`
+prints the canonical form, and ``parse(render(parse(text)))`` is always
+``parse(text)`` (pinned by hypothesis round-trip tests).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import FlowParseError
+
+_TOKEN = re.compile(r"\s*(>>|\||\(|\)|[A-Za-z_][A-Za-z0-9_]*)")
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Ref:
+    """A node reference (leaf of the expression tree)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Chain:
+    """A ``>>`` sequence of groups."""
+
+    steps: Tuple["Expr", ...]
+
+
+@dataclass(frozen=True)
+class Alt:
+    """A ``( … | … )`` alternative group."""
+
+    branches: Tuple["Expr", ...]
+
+
+Expr = Union[Ref, Chain, Alt]
+
+
+@dataclass
+class EdgeGraph:
+    """The flattened form of one or more edge expressions.
+
+    Attributes
+    ----------
+    nodes:
+        Every node name referenced, in first-appearance order.
+    edges:
+        Declared ``(upstream, downstream)`` pairs, in declaration order.
+    groups:
+        Alternative groups: for each ``(a | b | …)`` the tuple of *entry*
+        node names of its branches, in declaration order.  The runtime
+        routes or races over these.
+    expressions:
+        The canonical rendering of each source expression (used verbatim
+        in validation diagnostics).
+    """
+
+    nodes: List[str] = field(default_factory=list)
+    edges: List[Tuple[str, str]] = field(default_factory=list)
+    groups: List[Tuple[str, ...]] = field(default_factory=list)
+    expressions: List[str] = field(default_factory=list)
+
+    def _see(self, name: str) -> None:
+        if name not in self.nodes:
+            self.nodes.append(name)
+
+    def add_edge(self, upstream: str, downstream: str) -> None:
+        self._see(upstream)
+        self._see(downstream)
+        if (upstream, downstream) not in self.edges:
+            self.edges.append((upstream, downstream))
+
+    def add_group(self, entries: Tuple[str, ...]) -> None:
+        if len(entries) > 1 and entries not in self.groups:
+            self.groups.append(entries)
+
+    def merge(self, other: "EdgeGraph") -> "EdgeGraph":
+        for name in other.nodes:
+            self._see(name)
+        for edge in other.edges:
+            self.add_edge(*edge)
+        for group in other.groups:
+            self.add_group(group)
+        self.expressions.extend(other.expressions)
+        return self
+
+
+# ----------------------------------------------------------------------
+# Tokenising / parsing
+# ----------------------------------------------------------------------
+def _tokenise(text: str) -> List[str]:
+    tokens: List[str] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN.match(text, position)
+        if match is None:
+            remainder = text[position:].strip()
+            raise FlowParseError(
+                f"edge expression {text!r}: unexpected character "
+                f"{remainder[0]!r} at offset {position}"
+            )
+        tokens.append(match.group(1))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.tokens = _tokenise(text)
+        self.position = 0
+
+    def peek(self) -> str:
+        return self.tokens[self.position] if self.position < len(self.tokens) else ""
+
+    def take(self) -> str:
+        token = self.peek()
+        self.position += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        found = self.take()
+        if found != token:
+            raise FlowParseError(
+                f"edge expression {self.text!r}: expected {token!r}, "
+                f"found {found or 'end of expression'!r}"
+            )
+
+    def parse(self) -> Expr:
+        if not self.tokens:
+            raise FlowParseError("empty edge expression")
+        expression = self.chain()
+        if self.position != len(self.tokens):
+            raise FlowParseError(
+                f"edge expression {self.text!r}: trailing tokens starting at "
+                f"{self.peek()!r}"
+            )
+        return expression
+
+    def chain(self) -> Expr:
+        steps = [self.group()]
+        while self.peek() == ">>":
+            self.take()
+            steps.append(self.group())
+        if len(steps) == 1:
+            return steps[0]
+        return Chain(steps=tuple(steps))
+
+    def group(self) -> Expr:
+        token = self.peek()
+        if token == "(":
+            self.take()
+            branches = [self.chain()]
+            while self.peek() == "|":
+                self.take()
+                branches.append(self.chain())
+            self.expect(")")
+            if len(branches) == 1:
+                # Redundant parentheses around a single branch.
+                return branches[0]
+            return Alt(branches=tuple(branches))
+        if not token or token in (">>", "|", ")"):
+            raise FlowParseError(
+                f"edge expression {self.text!r}: expected a node name, "
+                f"found {token or 'end of expression'!r}"
+            )
+        return Ref(name=self.take())
+
+
+def parse_expression(text: str) -> Expr:
+    """Parse one edge expression into its AST (see module grammar)."""
+    return _Parser(text).parse()
+
+
+# ----------------------------------------------------------------------
+# Rendering (canonical form)
+# ----------------------------------------------------------------------
+def render_expression(expression: Expr) -> str:
+    """Canonical string of an AST: single spaces, parentheses on groups only."""
+    if isinstance(expression, Ref):
+        return expression.name
+    if isinstance(expression, Chain):
+        return " >> ".join(_render_step(step) for step in expression.steps)
+    if isinstance(expression, Alt):
+        return "(" + " | ".join(render_expression(branch) for branch in expression.branches) + ")"
+    raise FlowParseError(f"cannot render {expression!r}")
+
+
+def _render_step(step: Expr) -> str:
+    # A chain nested directly in a chain would be ambiguous; parenthesise.
+    if isinstance(step, Chain):
+        return "(" + render_expression(step) + ")"
+    return render_expression(step)
+
+
+# ----------------------------------------------------------------------
+# Flattening into an edge graph
+# ----------------------------------------------------------------------
+def _sources(expression: Expr) -> Tuple[str, ...]:
+    """Entry node names of an expression (fan-in targets)."""
+    if isinstance(expression, Ref):
+        return (expression.name,)
+    if isinstance(expression, Chain):
+        return _sources(expression.steps[0])
+    ordered: List[str] = []
+    for branch in expression.branches:
+        for name in _sources(branch):
+            if name not in ordered:
+                ordered.append(name)
+    return tuple(ordered)
+
+
+def _sinks(expression: Expr) -> Tuple[str, ...]:
+    """Exit node names of an expression (fan-out origins)."""
+    if isinstance(expression, Ref):
+        return (expression.name,)
+    if isinstance(expression, Chain):
+        return _sinks(expression.steps[-1])
+    ordered: List[str] = []
+    for branch in expression.branches:
+        for name in _sinks(branch):
+            if name not in ordered:
+                ordered.append(name)
+    return tuple(ordered)
+
+
+def _flatten(expression: Expr, graph: EdgeGraph) -> None:
+    if isinstance(expression, Ref):
+        graph._see(expression.name)
+        return
+    if isinstance(expression, Chain):
+        for step in expression.steps:
+            _flatten(step, graph)
+        for upstream, downstream in zip(expression.steps, expression.steps[1:]):
+            for sink in _sinks(upstream):
+                for source in _sources(downstream):
+                    graph.add_edge(sink, source)
+        return
+    if isinstance(expression, Alt):
+        for branch in expression.branches:
+            _flatten(branch, graph)
+        graph.add_group(tuple(_sources(branch)[0] for branch in expression.branches))
+        return
+    raise FlowParseError(f"cannot flatten {expression!r}")
+
+
+def parse_edges(text: Union[str, Sequence[str]]) -> EdgeGraph:
+    """Parse one edge expression (or a sequence of them) into an :class:`EdgeGraph`.
+
+    Multiple expressions merge into one graph — that is how fan-outs off a
+    shared trunk are declared, e.g.::
+
+        parse_edges([
+            "build_dfg >> base_schedule >> extract_profile",
+            "base_schedule >> (rearrange | passthrough) >> generate_context",
+        ])
+    """
+    expressions = [text] if isinstance(text, str) else list(text)
+    if not expressions:
+        raise FlowParseError("a flow needs at least one edge expression")
+    graph = EdgeGraph()
+    for expression_text in expressions:
+        ast = parse_expression(expression_text)
+        piece = EdgeGraph(expressions=[render_expression(ast)])
+        _flatten(ast, piece)
+        graph.merge(piece)
+    return graph
+
+
+def render_edges(graph: EdgeGraph) -> List[str]:
+    """The canonical expression list of a parsed graph (round-trip stable)."""
+    return list(graph.expressions)

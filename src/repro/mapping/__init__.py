@@ -4,26 +4,30 @@ from repro.mapping.schedule import Schedule, ScheduledOperation
 from repro.mapping.placement import ResourceTracker, column_preference
 from repro.mapping.loop_pipelining import LoopPipeliningScheduler
 from repro.mapping.rearrange import (
+    RearrangedSchedule,
     RearrangementResult,
     evaluate_rearrangement,
     rearrange_schedule,
+    rebind_schedule,
     remap_schedule,
 )
 from repro.mapping.context_gen import context_statistics, generate_context
 from repro.mapping.profile import extract_profile, extract_profiles
-from repro.mapping.pipeline import (
-    PIPELINE_STAGES,
-    STAGE_NAMES,
-    Artifact,
-    MappingPipeline,
-    MappingResult,
-    PipelineStats,
-    RearrangedSchedule,
-    StageSpec,
-    StageTiming,
+from repro.mapping.fingerprints import (
     architecture_fingerprint,
     dfg_fingerprint,
     stage_key,
+)
+# The per-stage accounting types live in repro.flowgraph.stats since the
+# flow-graph refactor; this package keeps exporting them (the deprecated
+# path is repro.mapping.pipeline.<name>, which warns).
+from repro.flowgraph.stats import Artifact, PipelineStats, StageTiming
+from repro.mapping.pipeline import (
+    PIPELINE_STAGES,
+    STAGE_NAMES,
+    MappingPipeline,
+    MappingResult,
+    StageSpec,
 )
 from repro.mapping.mapper import RSPMapper
 

@@ -1,19 +1,27 @@
-"""Staged mapping pipeline with content-hashed, store-backed artifacts.
+"""Staged mapping pipeline, executed as a declarative flow graph.
 
 The seed's :class:`~repro.mapping.mapper.RSPMapper` bundled the paper's
-Figure-7 mapping flow into one monolithic call.  This module makes the
+Figure-7 mapping flow into one monolithic call; this module makes the
 stages explicit and independently runnable::
 
     build_dfg -> base_schedule -> extract_profile        (upper half)
                        \\-> rearrange -> generate_context (lower half)
 
-Every stage consumes and produces :class:`Artifact` values whose identity
-is a SHA-256 *input* hash (:func:`stage_key`, built on the same hashing
-convention as the evaluation engine's job keys): the hash of a stage's
-inputs is the hash of the upstream artifact keys plus the stage's own
-parameters, so the whole chain is derivable from the kernel DFG
-fingerprint and the architecture fingerprints alone — without doing any
-mapping work.  That is what lets a warm
+Since the flow-graph refactor the stages are :class:`repro.flowgraph.Node`
+definitions (:mod:`repro.flowgraph.mapping`) executed by the
+:class:`repro.flowgraph.Flow` runtime; :class:`MappingPipeline` is the
+canonical facade over the default five-node flow and accepts custom flow
+configs (skip-rearrange routing, raced mapper variants) through its
+``flow`` parameter.  The execution discipline is unchanged and the
+produced artifacts are byte-identical to the pre-flow pipeline.
+
+Every stage consumes and produces :class:`~repro.flowgraph.stats.Artifact`
+values whose identity is a SHA-256 *input* hash (:func:`stage_key`, built
+on the same hashing convention as the evaluation engine's job keys): the
+hash of a stage's inputs is the hash of the upstream artifact keys plus
+the stage's own parameters, so the whole chain is derivable from the
+kernel DFG fingerprint and the architecture fingerprints alone — without
+doing any mapping work.  That is what lets a warm
 :class:`~repro.engine.artifacts.ArtifactStore` serve base schedules,
 profiles, rearranged schedules and configuration contexts across
 processes and campaigns while the only recomputed step is the cheap DFG
@@ -30,27 +38,34 @@ changed kernel body changes the DFG, the fingerprint and every key.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field, replace
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.arch.config_cache import ConfigurationContext
 from repro.arch.template import ArchitectureSpec, base_architecture
 from repro.core.stalls import ScheduleProfile
 from repro.errors import MappingError
+from repro.flowgraph import stats as _flowstats
+from repro.flowgraph.core import Flow, FlowContext
 from repro.ir.dfg import DFG
 from repro.ir.loops import Kernel
-from repro.mapping.context_gen import generate_context
-from repro.mapping.loop_pipelining import LoopPipeliningScheduler
-from repro.mapping.profile import extract_profile
-from repro.mapping.rearrange import RearrangementResult, rearrange_schedule
+from repro.mapping.fingerprints import (
+    architecture_fingerprint,
+    dfg_fingerprint,
+    stage_key,
+)
+from repro.mapping.rearrange import RearrangedSchedule, rebind_schedule
 from repro.mapping.schedule import Schedule
-from repro.trace.db import percentile
-from repro.trace.spans import get_tracer
-from repro.utils.serialization import content_hash
 
 if TYPE_CHECKING:  # pragma: no cover - type hints only
     from repro.engine.artifacts import ArtifactStore
+    from repro.flowgraph.config import ConfigSource
+    from repro.flowgraph.stats import Artifact
+
+#: Compatibility alias for the pre-flow private helper name.
+_rebind_schedule = rebind_schedule
 
 
 # ----------------------------------------------------------------------
@@ -59,6 +74,11 @@ if TYPE_CHECKING:  # pragma: no cover - type hints only
 @dataclass(frozen=True)
 class StageSpec:
     """Declaration of one pipeline stage: its artifact interface.
+
+    Since the flow-graph refactor this is a descriptive summary of the
+    canonical flow's nodes (the executable definitions live in
+    :mod:`repro.flowgraph.mapping`); it remains the documented contract
+    of the five-stage pipeline.
 
     Attributes
     ----------
@@ -93,187 +113,33 @@ PIPELINE_STAGES: Tuple[StageSpec, ...] = (
 #: Stage names in dataflow order (report/table ordering).
 STAGE_NAMES: Tuple[str, ...] = tuple(stage.name for stage in PIPELINE_STAGES)
 
-#: Stage declarations by name; ``MappingPipeline._memoise`` consults the
-#: ``persistent`` flag here, so the declaration is authoritative.
+#: Stage declarations by name.
 STAGES_BY_NAME: Dict[str, StageSpec] = {stage.name: stage for stage in PIPELINE_STAGES}
 
 
-@dataclass
-class Artifact:
-    """One stage output together with its provenance.
-
-    Attributes
-    ----------
-    stage:
-        Name of the producing stage.
-    key:
-        SHA-256 input hash that identifies the artifact in the store.
-    value:
-        The stage's output object.
-    from_store:
-        True when the value was served by the artifact store rather than
-        computed in this call.
-    seconds:
-        Wall time spent obtaining the value (compute time on a miss,
-        fetch time on a hit).
-    """
-
-    stage: str
-    key: str
-    value: Any
-    from_store: bool = False
-    seconds: float = 0.0
-
-
-@dataclass
-class RearrangedSchedule:
-    """Output of the ``rearrange`` stage: the schedule plus its cycle summary."""
-
-    schedule: Schedule
-    summary: RearrangementResult
-
-
 # ----------------------------------------------------------------------
-# Content hashing
+# Moved names: deprecation shims
 # ----------------------------------------------------------------------
-def dfg_fingerprint(dfg: DFG) -> str:
-    """SHA-256 digest of a DFG's full content (operations and edges)."""
-    return content_hash(dfg.to_dict())
+#: Accounting types that moved to :mod:`repro.flowgraph.stats` in the
+#: flow-graph refactor.  Importing them from here still works but warns.
+_MOVED_TO_FLOWGRAPH_STATS = (
+    "Artifact",
+    "PipelineStats",
+    "StageTiming",
+    "stage_timings_as_dict",
+)
 
 
-def architecture_fingerprint(spec: ArchitectureSpec) -> str:
-    """SHA-256 digest of an architecture's *structure*.
-
-    The human-readable name is excluded on purpose: ``RSP#2`` and the
-    exploration grid's ``rsp(shr=2,shc=0,stages=2)`` describe the same
-    design point and must map to the same artifacts.
-    """
-    return content_hash(
-        {
-            "array": spec.array,
-            "sharing": spec.sharing,
-            "pipelining": spec.pipelining,
-            "shared_resource": spec.shared_resource,
-        }
-    )
-
-
-def stage_key(stage: str, **inputs: object) -> str:
-    """Memoisation key of one stage invocation: ``hash(stage + input hashes)``."""
-    return content_hash({"stage": stage, "inputs": inputs})
-
-
-# ----------------------------------------------------------------------
-# Per-stage accounting
-# ----------------------------------------------------------------------
-@dataclass
-class StageTiming:
-    """Hit/miss counters, wall time and duration samples of one stage."""
-
-    stage: str
-    hits: int = 0
-    misses: int = 0
-    seconds: float = 0.0
-    #: Individual invocation durations (hit fetches and miss computes
-    #: alike) — the sample behind the report's per-stage p50/p95.
-    durations: List[float] = field(default_factory=list)
-
-    @property
-    def lookups(self) -> int:
-        return self.hits + self.misses
-
-
-class PipelineStats:
-    """Per-stage counters of one :class:`MappingPipeline`."""
-
-    def __init__(self) -> None:
-        self.stages: Dict[str, StageTiming] = {}
-
-    def timing(self, stage: str) -> StageTiming:
-        if stage not in self.stages:
-            self.stages[stage] = StageTiming(stage=stage)
-        return self.stages[stage]
-
-    def record(self, stage: str, hit: bool, seconds: float) -> None:
-        timing = self.timing(stage)
-        if hit:
-            timing.hits += 1
-        else:
-            timing.misses += 1
-        timing.seconds += seconds
-        timing.durations.append(seconds)
-        # Single choke point for stage observability: every pipeline path
-        # funnels through here, so span counts always equal hit + miss
-        # counts and ``python -m repro.trace stages`` matches the report.
-        tracer = get_tracer()
-        if tracer.active:
-            tracer.record_span(stage, kind="stage", duration_s=seconds, hit=hit)
-
-    @property
-    def total_hits(self) -> int:
-        return sum(timing.hits for timing in self.stages.values())
-
-    @property
-    def total_misses(self) -> int:
-        return sum(timing.misses for timing in self.stages.values())
-
-    @property
-    def total_seconds(self) -> float:
-        return sum(timing.seconds for timing in self.stages.values())
-
-    def snapshot(self) -> Dict[str, Tuple[int, int, float, int]]:
-        """Freeze the current counters (used to compute per-suite deltas)."""
-        return {
-            name: (timing.hits, timing.misses, timing.seconds, len(timing.durations))
-            for name, timing in self.stages.items()
-        }
-
-    def since(self, snapshot: Dict[str, Tuple]) -> Dict[str, StageTiming]:
-        """Counters accumulated after ``snapshot`` was taken.
-
-        Accepts legacy 3-tuple snapshots (pre-duration-sample) as well:
-        their deltas then carry the full sample list.
-        """
-        deltas: Dict[str, StageTiming] = {}
-        for name, timing in self.stages.items():
-            frozen = snapshot.get(name, (0, 0, 0.0))
-            hits, misses, seconds = frozen[0], frozen[1], frozen[2]
-            seen = frozen[3] if len(frozen) > 3 else 0
-            delta = StageTiming(
-                stage=name,
-                hits=timing.hits - hits,
-                misses=timing.misses - misses,
-                seconds=timing.seconds - seconds,
-                durations=list(timing.durations[seen:]),
-            )
-            if delta.lookups or delta.seconds:
-                deltas[name] = delta
-        return deltas
-
-    def as_dict(self) -> Dict[str, Dict[str, float]]:
-        """JSON-friendly per-stage summary in dataflow order."""
-        return stage_timings_as_dict(self.stages)
-
-
-def stage_timings_as_dict(timings: Dict[str, StageTiming]) -> Dict[str, Dict[str, float]]:
-    """JSON-friendly form of a per-stage timing delta map.
-
-    ``p50``/``p95`` come from the per-invocation duration samples through
-    :func:`repro.trace.db.percentile` — the same function the trace
-    dashboard applies to stage spans, so both views always agree.
-    """
-    ordered = [name for name in STAGE_NAMES if name in timings]
-    ordered += [name for name in timings if name not in STAGE_NAMES]
-    return {
-        name: {
-            "hits": timings[name].hits,
-            "misses": timings[name].misses,
-            "seconds": round(timings[name].seconds, 6),
-            "p50": round(percentile(timings[name].durations, 0.50), 6),
-            "p95": round(percentile(timings[name].durations, 0.95), 6),
-        }
-        for name in ordered
-    }
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_FLOWGRAPH_STATS:
+        warnings.warn(
+            f"repro.mapping.pipeline.{name} moved to repro.flowgraph.stats; "
+            f"import it from repro.flowgraph (or the repro package root) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_flowstats, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------
@@ -304,24 +170,11 @@ class MappingResult:
         return self.cycles - self.base_cycles
 
 
-def _rebind_schedule(schedule: Schedule, target: ArchitectureSpec) -> Schedule:
-    """Copy of ``schedule`` bound to the structurally identical ``target``.
-
-    The immutable entries are shared; only the schedule shell is rebuilt so
-    ``schedule.architecture`` reports the caller's spec (figures and the
-    simulator read the name from there).
-    """
-    rebound = Schedule(target, kernel_name=schedule.kernel_name)
-    for entry in schedule.operations():
-        rebound.add(entry)
-    return rebound
-
-
 # ----------------------------------------------------------------------
 # The pipeline
 # ----------------------------------------------------------------------
 class MappingPipeline:
-    """Runs the staged mapping flow against an artifact store.
+    """Runs the mapping flow against an artifact store.
 
     Parameters
     ----------
@@ -339,6 +192,12 @@ class MappingPipeline:
     store_shards:
         Shard count used when ``store`` is given as a path (see
         :class:`~repro.engine.artifacts.ArtifactStore`).
+    flow:
+        The flow to execute: ``None`` for the canonical five-node flow, a
+        pre-built :class:`~repro.flowgraph.core.Flow`, or a flow config
+        (dict or JSON path, see :mod:`repro.flowgraph.config`) rewiring
+        the registered mapping nodes — e.g. skipping ``rearrange`` for
+        balanced profiles or racing ``rearrange`` against ``remap``.
     """
 
     def __init__(
@@ -347,6 +206,7 @@ class MappingPipeline:
         store: Optional[Union["ArtifactStore", str, Path]] = None,
         generate_contexts: bool = False,
         store_shards: int = 1,
+        flow: Union[Flow, "ConfigSource", None] = None,
     ) -> None:
         self.base = base or base_architecture()
         if not self.base.is_base:
@@ -360,46 +220,87 @@ class MappingPipeline:
             store = ArtifactStore(store, shards=store_shards)
         self.store = store
         self.generate_contexts = generate_contexts
-        self.stats = PipelineStats()
+        self.stats = _flowstats.PipelineStats()
+        #: Optional unified observer (:mod:`repro.observers`) receiving a
+        #: :class:`~repro.flowgraph.core.NodeEvent` per materialised node.
+        self.observer: Any = None
         self._base_fingerprint = architecture_fingerprint(self.base)
-        self._dfg_memo: Dict[str, Artifact] = {}
+        self._dfg_memo: Dict[str, "Artifact"] = {}
+        if isinstance(flow, Flow):
+            self.flow = flow
+        else:
+            # Imported lazily: repro.flowgraph.mapping imports the leaf
+            # modules of repro.mapping, so a module-level import here
+            # would be circular.
+            from repro.flowgraph.mapping import build_mapping_flow
+
+            self.flow = build_mapping_flow(self, flow)
 
     # ------------------------------------------------------------------
-    # Stage execution plumbing
+    # Flow plumbing
     # ------------------------------------------------------------------
-    def _base_schedule_key(self, dfg_key: str) -> str:
-        """The base-schedule stage key shared by every downstream stage."""
-        return stage_key("base_schedule", dfg=dfg_key, architecture=self._base_fingerprint)
+    def _flow_context(
+        self,
+        kernel: Kernel,
+        target: ArchitectureSpec,
+        iterations: Optional[int] = None,
+    ) -> FlowContext:
+        """A fresh execution context seeded with this call's inputs.
 
-    def _memoise(self, stage: str, key: str, compute: Callable[[], Any]) -> Artifact:
-        """Serve ``(stage, key)`` from the store, computing and storing on a miss.
-
-        ``compute`` is only invoked on a miss, so upstream artifacts named
-        inside it are materialised lazily: a warm store serves a profile
-        without ever touching the schedule it was extracted from.
+        Seed architectures are pre-keyed with their structural
+        fingerprints so node key derivations never re-hash them.
         """
-        started = time.perf_counter()
-        hit, value = self.store.fetch(stage, key)
-        if hit:
-            elapsed = time.perf_counter() - started
-            self.stats.record(stage, hit=True, seconds=elapsed)
-            return Artifact(stage=stage, key=key, value=value, from_store=True, seconds=elapsed)
-        value = compute()
-        self.store.put(stage, key, value, persist=STAGES_BY_NAME[stage].persistent)
-        elapsed = time.perf_counter() - started
-        self.stats.record(stage, hit=False, seconds=elapsed)
-        return Artifact(stage=stage, key=key, value=value, seconds=elapsed)
+        values: Dict[str, Any] = {
+            "kernel": kernel,
+            "base_architecture": self.base,
+            "target_architecture": target,
+        }
+        if iterations is not None:
+            values["iterations"] = iterations
+        keys = {
+            "base_architecture": self._base_fingerprint,
+            "target_architecture": (
+                self._base_fingerprint
+                if target is self.base
+                else architecture_fingerprint(target)
+            ),
+        }
+        return FlowContext(values, keys)
+
+    def _resolve(
+        self,
+        output: str,
+        kernel: Kernel,
+        target: ArchitectureSpec,
+        iterations: Optional[int] = None,
+    ) -> "Artifact":
+        return self.flow.resolve(
+            output,
+            context=self._flow_context(kernel, target, iterations),
+            store=self.store,
+            stats=self.stats,
+            observer=self.observer,
+        )
+
+    def describe_flow(self) -> Dict[str, Any]:
+        """JSON-friendly description of the executing flow (for reports)."""
+        return {
+            "name": self.flow.name,
+            "edges": list(self.flow.edge_graph.expressions),
+            "nodes": [node.name for node in self.flow.nodes],
+        }
 
     # ------------------------------------------------------------------
     # Stage 1: build_dfg
     # ------------------------------------------------------------------
-    def dfg_artifact(self, kernel: Kernel, iterations: Optional[int] = None) -> Artifact:
+    def dfg_artifact(self, kernel: Kernel, iterations: Optional[int] = None) -> "Artifact":
         """Materialise (and memoise) the unrolled DFG of ``kernel``.
 
         The artifact key is the *content* fingerprint of the built DFG,
         which seeds every downstream stage key.  Kernel bodies are Python
         callables and cannot be hashed, so this stage always runs at least
-        once per process and is never persisted.
+        once per process and is never persisted.  (This is the canonical
+        flow's ``build_dfg`` resolver.)
         """
         memo_key = f"{kernel.name}@{iterations or kernel.iterations}"
         if memo_key in self._dfg_memo:
@@ -408,7 +309,7 @@ class MappingPipeline:
             return artifact
         started = time.perf_counter()
         dfg = kernel.build(iterations)
-        artifact = Artifact(
+        artifact = _flowstats.Artifact(
             stage="build_dfg",
             key=dfg_fingerprint(dfg),
             value=dfg,
@@ -421,35 +322,21 @@ class MappingPipeline:
     # ------------------------------------------------------------------
     # Stage 2: base_schedule
     # ------------------------------------------------------------------
-    def base_schedule_artifact(self, kernel: Kernel, iterations: Optional[int] = None) -> Artifact:
+    def base_schedule_artifact(self, kernel: Kernel, iterations: Optional[int] = None) -> "Artifact":
         """Schedule ``kernel`` on the base architecture (loop pipelining)."""
-        dfg_art = self.dfg_artifact(kernel, iterations)
-        key = self._base_schedule_key(dfg_art.key)
-
-        def compute() -> Schedule:
-            scheduler = LoopPipeliningScheduler(self.base)
-            return scheduler.schedule(dfg_art.value, kernel_name=kernel.name)
-
-        return self._memoise("base_schedule", key, compute)
+        return self._resolve("schedule", kernel, self.base, iterations)
 
     # ------------------------------------------------------------------
     # Stage 3: extract_profile
     # ------------------------------------------------------------------
-    def profile_artifact(self, kernel: Kernel, iterations: Optional[int] = None) -> Artifact:
+    def profile_artifact(self, kernel: Kernel, iterations: Optional[int] = None) -> "Artifact":
         """Extract the stall-estimation profile of the base schedule.
 
         On a warm store this never materialises the schedule: the profile
-        key is derived from the schedule *key*, not its value.
+        key is derived from the schedule *key*, not its value (the flow
+        runtime resolves keys without fetching values).
         """
-        dfg_art = self.dfg_artifact(kernel, iterations)
-        schedule_key = self._base_schedule_key(dfg_art.key)
-        key = stage_key("extract_profile", schedule=schedule_key, dfg=dfg_art.key)
-
-        def compute() -> ScheduleProfile:
-            schedule = self.base_schedule_artifact(kernel, iterations).value
-            return extract_profile(schedule, dfg_art.value)
-
-        return self._memoise("extract_profile", key, compute)
+        return self._resolve("profile", kernel, self.base, iterations)
 
     def profiles_for(
         self, kernels: Sequence[Kernel], iterations: Optional[int] = None
@@ -478,36 +365,57 @@ class MappingPipeline:
         store for a suite *while the previous suite is still exploring*:
         one batched fetch per stage instead of one blocking lookup per
         kernel inside the mapping call.
+
+        Works for any flow: node names are the key buckets, every
+        candidate of a raced group is enumerated, and keys downstream of
+        a race stop at the raced output (the winner is run-time data).
         """
-        keys: Dict[str, List[str]] = {"base_schedule": [], "extract_profile": []}
-        rearrange_keys: List[str] = []
-        context_keys: List[str] = []
+        flow = self.flow
+        keys: Dict[str, List[str]] = {}
+        if "profile" in flow.producers:
+            for name in flow.dependencies(("profile",)):
+                node = flow.by_name[name]
+                if node.persistent and not node.virtual:
+                    keys[name] = []
+
+        def absorb(per_call: Dict[str, str]) -> None:
+            for name, key in per_call.items():
+                node = flow.by_name[name]
+                if not node.persistent or node.virtual:
+                    continue
+                bucket = keys.setdefault(name, [])
+                if key not in bucket:
+                    bucket.append(key)
+
+        profile_outputs = tuple(
+            output for output in ("profile",) if output in flow.producers
+        )
+        target_wanted: Tuple[str, ...] = ("rearranged",)
+        if self.generate_contexts:
+            target_wanted += ("context",)
+        target_outputs = tuple(
+            output for output in target_wanted if output in flow.producers
+        )
         for kernel in kernels:
-            dfg_key = self.dfg_artifact(kernel, iterations).key
-            schedule_key = self._base_schedule_key(dfg_key)
-            keys["base_schedule"].append(schedule_key)
-            keys["extract_profile"].append(
-                stage_key("extract_profile", schedule=schedule_key, dfg=dfg_key)
-            )
+            if profile_outputs:
+                absorb(
+                    flow.keys_for(
+                        context=self._flow_context(kernel, self.base, iterations),
+                        outputs=profile_outputs,
+                        store=self.store,
+                        stats=self.stats,
+                    )
+                )
             for target in targets:
-                if target.is_base:
-                    upstream_key = schedule_key
-                else:
-                    upstream_key = stage_key(
-                        "rearrange",
-                        schedule=schedule_key,
-                        dfg=dfg_key,
-                        architecture=architecture_fingerprint(target),
+                if target_outputs:
+                    absorb(
+                        flow.keys_for(
+                            context=self._flow_context(kernel, target, iterations),
+                            outputs=target_outputs,
+                            store=self.store,
+                            stats=self.stats,
+                        )
                     )
-                    rearrange_keys.append(upstream_key)
-                if self.generate_contexts:
-                    context_keys.append(
-                        stage_key("generate_context", schedule=upstream_key, dfg=dfg_key)
-                    )
-        if rearrange_keys:
-            keys["rearrange"] = rearrange_keys
-        if context_keys:
-            keys["generate_context"] = context_keys
         return keys
 
     def prefetch_stages(
@@ -532,52 +440,19 @@ class MappingPipeline:
         kernel: Kernel,
         target: ArchitectureSpec,
         iterations: Optional[int] = None,
-    ) -> Artifact:
+    ) -> "Artifact":
         """Rearrange the base schedule for ``target`` (RS/RP rules).
 
         The artifact bundles the rearranged schedule with the cycle
         summary (actual and stall-free lengths), matching the seed
         mapper's ``rearrange_schedule`` + ``evaluate_rearrangement`` pair
         while running the rearrangement twice instead of three times.
+        With a custom flow, the returned artifact is whatever branch the
+        flow routed (or raced) the ``rearranged`` output through.
         """
         if target.is_base:
             raise MappingError("the rearrange stage applies to non-base design points only")
-        dfg_art = self.dfg_artifact(kernel, iterations)
-        schedule_key = self._base_schedule_key(dfg_art.key)
-        key = stage_key(
-            "rearrange",
-            schedule=schedule_key,
-            dfg=dfg_art.key,
-            architecture=architecture_fingerprint(target),
-        )
-
-        def compute() -> RearrangedSchedule:
-            base_schedule = self.base_schedule_artifact(kernel, iterations).value
-            actual = rearrange_schedule(base_schedule, dfg_art.value, target)
-            stall_free = rearrange_schedule(
-                base_schedule, dfg_art.value, target, unlimited_shared=True
-            )
-            summary = RearrangementResult(
-                kernel=base_schedule.kernel_name,
-                architecture=target.name,
-                base_cycles=base_schedule.length,
-                stall_free_cycles=stall_free.length,
-                cycles=actual.length,
-            )
-            return RearrangedSchedule(schedule=actual, summary=summary)
-
-        artifact = self._memoise("rearrange", key, compute)
-        rearranged: RearrangedSchedule = artifact.value
-        if rearranged.summary.architecture != target.name:
-            # The store keys by structure, not by name; rebind the schedule
-            # and restamp the summary so results carry the caller's
-            # design-point name (the stored object stays untouched for
-            # consumers using the original name).
-            artifact.value = RearrangedSchedule(
-                schedule=_rebind_schedule(rearranged.schedule, target),
-                summary=replace(rearranged.summary, architecture=target.name),
-            )
-        return artifact
+        return self._resolve("rearranged", kernel, target, iterations)
 
     # ------------------------------------------------------------------
     # Stage 5: generate_context
@@ -587,36 +462,9 @@ class MappingPipeline:
         kernel: Kernel,
         target: Optional[ArchitectureSpec] = None,
         iterations: Optional[int] = None,
-    ) -> Artifact:
+    ) -> "Artifact":
         """Generate the configuration context of ``kernel`` on ``target``."""
-        target = target or self.base
-        dfg_art = self.dfg_artifact(kernel, iterations)
-        schedule_key = self._base_schedule_key(dfg_art.key)
-        if target.is_base:
-            upstream_key = schedule_key
-        else:
-            upstream_key = stage_key(
-                "rearrange",
-                schedule=schedule_key,
-                dfg=dfg_art.key,
-                architecture=architecture_fingerprint(target),
-            )
-        key = stage_key("generate_context", schedule=upstream_key, dfg=dfg_art.key)
-
-        def compute() -> ConfigurationContext:
-            if target.is_base:
-                schedule = self.base_schedule_artifact(kernel, iterations).value
-            else:
-                schedule = self.rearrange_artifact(kernel, target, iterations).value.schedule
-            return generate_context(schedule, dfg_art.value)
-
-        artifact = self._memoise("generate_context", key, compute)
-        expected_name = f"{kernel.name}@{target.name}"
-        if artifact.value.name != expected_name:
-            # Same structural-alias situation as in rearrange_artifact: the
-            # stored context carries the name of whichever spec computed it.
-            artifact.value = artifact.value.renamed(expected_name)
-        return artifact
+        return self._resolve("context", kernel, target or self.base, iterations)
 
     # ------------------------------------------------------------------
     # End-to-end run
@@ -627,7 +475,7 @@ class MappingPipeline:
         architecture: Optional[ArchitectureSpec] = None,
         iterations: Optional[int] = None,
     ) -> MappingResult:
-        """Map ``kernel`` onto ``architecture`` through the staged flow.
+        """Map ``kernel`` onto ``architecture`` through the flow.
 
         Produces a :class:`MappingResult` bit-identical to the seed
         mapper's ``map_kernel`` for the same inputs, with every stage
@@ -638,36 +486,26 @@ class MappingPipeline:
             raise MappingError(
                 "the target architecture must have the same array dimensions as the base"
             )
-        dfg = self.dfg_artifact(kernel, iterations).value
-        base_schedule = self.base_schedule_artifact(kernel, iterations).value
-        if target.is_base:
-            schedule = base_schedule
-            summary = RearrangementResult(
-                kernel=kernel.name,
-                architecture=target.name,
-                base_cycles=base_schedule.length,
-                stall_free_cycles=base_schedule.length,
-                cycles=base_schedule.length,
-            )
-        else:
-            rearranged: RearrangedSchedule = self.rearrange_artifact(
-                kernel, target, iterations
-            ).value
-            schedule = rearranged.schedule
-            summary = rearranged.summary
-        context = (
-            self.context_artifact(kernel, target, iterations).value
-            if self.generate_contexts
-            else None
+        outputs: Tuple[str, ...] = ("dfg", "schedule", "rearranged")
+        if self.generate_contexts:
+            outputs += ("context",)
+        ctx = self.flow.run(
+            context=self._flow_context(kernel, target, iterations),
+            outputs=outputs,
+            store=self.store,
+            stats=self.stats,
+            observer=self.observer,
         )
+        rearranged: RearrangedSchedule = ctx["rearranged"]
+        summary = rearranged.summary
         return MappingResult(
             kernel=kernel.name,
             architecture=target,
-            dfg=dfg,
-            base_schedule=base_schedule,
-            schedule=schedule,
+            dfg=ctx["dfg"],
+            base_schedule=ctx["schedule"],
+            schedule=rearranged.schedule,
             cycles=summary.cycles,
             stall_cycles=summary.stall_cycles,
             base_cycles=summary.base_cycles,
-            context=context,
+            context=ctx["context"] if self.generate_contexts else None,
         )

@@ -126,6 +126,19 @@ def rearrange_schedule(
     return rearranged
 
 
+def rebind_schedule(schedule: Schedule, target: ArchitectureSpec) -> Schedule:
+    """Copy of ``schedule`` bound to the structurally identical ``target``.
+
+    The immutable entries are shared; only the schedule shell is rebuilt so
+    ``schedule.architecture`` reports the caller's spec (figures and the
+    simulator read the name from there).
+    """
+    rebound = Schedule(target, kernel_name=schedule.kernel_name)
+    for entry in schedule.operations():
+        rebound.add(entry)
+    return rebound
+
+
 def remap_schedule(dfg: DFG, target: ArchitectureSpec, kernel_name: Optional[str] = None) -> Schedule:
     """Fully re-map ``dfg`` onto ``target`` (free placement, not rearrangement).
 
@@ -161,6 +174,14 @@ class RearrangementResult:
     def pipeline_overhead_cycles(self) -> int:
         """Extra cycles caused purely by the multi-cycle pipelined multiplier."""
         return max(0, self.stall_free_cycles - self.base_cycles)
+
+
+@dataclass
+class RearrangedSchedule:
+    """Output of the ``rearrange`` stage: the schedule plus its cycle summary."""
+
+    schedule: Schedule
+    summary: RearrangementResult
 
 
 def evaluate_rearrangement(

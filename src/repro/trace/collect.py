@@ -4,13 +4,11 @@ Nothing in here computes anything new — each adapter stands at a place
 the engine already passes through and mirrors what it sees into the
 installed tracer:
 
-* :class:`TracingWaveObserver` — a :class:`~repro.engine.executor.WaveObserver`
+* :class:`TracingWaveObserver` — a :class:`~repro.observers.CampaignObserver`
   that opens one span per evaluation wave and folds results into the
   campaign counters (``wave.count``, ``result.count``,
-  ``result.source.*``, ``result.feasible``, ``frontier.updates``);
-* :func:`compose_observers` — lets the tracing observer ride alongside
-  the streaming mode's journal observer on the engine's single observer
-  slot;
+  ``result.source.*``, ``result.feasible``, ``frontier.updates``,
+  plus ``flow.node.*``/``flow.routed.*`` from flow-graph node events);
 * :class:`TraceCollector` — owns the live :class:`~repro.trace.spans.Tracer`
   and the :class:`~repro.trace.db.TraceDB` it drains into; the campaign
   runner installs it for the duration of a traced run;
@@ -33,10 +31,11 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
-from repro.engine.executor import WaveObserver, WaveOutcome
+from repro.engine.executor import WaveOutcome
 from repro.engine.frontier import ParetoFrontier
 from repro.engine.stream import EVENTS_FILENAME, EventLog
 from repro.errors import TraceError
+from repro.observers import CampaignObserver
 from repro.trace.db import TRACE_DB_FILENAME, TraceDB
 from repro.trace.spans import Span, Tracer, set_tracer
 
@@ -44,7 +43,7 @@ from repro.trace.spans import Span, Tracer, set_tracer
 # ----------------------------------------------------------------------
 # Wave observation
 # ----------------------------------------------------------------------
-class TracingWaveObserver(WaveObserver):
+class TracingWaveObserver(CampaignObserver):
     """Mirrors one suite's waves into spans and counters.
 
     The observer keeps its own feasible-point frontier (the same
@@ -111,39 +110,39 @@ class TracingWaveObserver(WaveObserver):
             span.set("frontier_size", len(self.frontier))
             span.end()
 
+    def node_finished(self, event) -> None:
+        """Fold flow-graph node events into campaign counters.
 
-class MultiWaveObserver(WaveObserver):
-    """Fans every wave callback out to several observers, in order."""
-
-    def __init__(self, observers) -> None:
-        self.observers: Tuple[WaveObserver, ...] = tuple(observers)
-
-    def wave_started(self, wave_index: int, job_count: int) -> None:
-        for observer in self.observers:
-            observer.wave_started(wave_index, job_count)
-
-    def wave_finished(self, outcome: WaveOutcome) -> None:
-        for observer in self.observers:
-            observer.wave_finished(outcome)
-
-    def base_evaluated(self, key, evaluation, source, feasible) -> None:
-        for observer in self.observers:
-            observer.base_evaluated(key, evaluation, source, feasible)
+        The per-stage *spans* already flow through ``PipelineStats.record``;
+        here only the routing decisions are counted, so the dashboard can
+        show which conditional/raced branches a campaign actually took.
+        """
+        if event.routed:
+            self.tracer.counter(f"flow.routed.{event.node}")
 
 
-def compose_observers(*observers: Optional[WaveObserver]) -> Optional[WaveObserver]:
-    """One observer driving all non-``None`` arguments (``None`` when empty).
+#: Deprecated aliases re-exported from :mod:`repro.observers`.
+_MOVED_TO_OBSERVERS = {
+    "MultiWaveObserver": "MultiObserver",
+    "compose_observers": "compose_observers",
+}
 
-    This is how a traced *and* streamed campaign fits the engine's single
-    observer slot: the tracing observer and the journal observer each see
-    every wave, without either knowing about the other.
-    """
-    active = [observer for observer in observers if observer is not None]
-    if not active:
-        return None
-    if len(active) == 1:
-        return active[0]
-    return MultiWaveObserver(active)
+
+def __getattr__(name: str):
+    moved = _MOVED_TO_OBSERVERS.get(name)
+    if moved is not None:
+        import warnings
+
+        import repro.observers as _observers
+
+        warnings.warn(
+            f"repro.trace.collect.{name} is deprecated; use "
+            f"repro.observers.{moved} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_observers, moved)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 # ----------------------------------------------------------------------

@@ -290,3 +290,70 @@ def test_cli_summary_line_shows_batched_count(tmp_path, capsys):
     ]) == 0
     out = capsys.readouterr().out
     assert "batched:" in out
+
+
+# ----------------------------------------------------------------------
+# Custom mapping flows
+# ----------------------------------------------------------------------
+RACE_FLOW = {
+    "name": "race",
+    "edges": [
+        "build_dfg >> base_schedule >> extract_profile",
+        "base_schedule >> (rearrange | remap | passthrough) >> generate_context",
+    ],
+    "nodes": {
+        "rearrange": {"when": "!target_is_base"},
+        "remap": {"when": "!target_is_base"},
+        "passthrough": {"when": "target_is_base"},
+    },
+    "select": {"rearranged": {"metric": "summary.cycles", "mode": "min"}},
+}
+
+
+def test_campaign_with_custom_flow_reports_routed_stages(small_spec):
+    report, results = CampaignRunner(small_spec, flow=RACE_FLOW).run()
+    assert report.flow["name"] == "race"
+    assert "remap" in report.flow["nodes"]
+    suite = report.suites[0]
+    # The post-exploration mapping pass drove both raced branches.
+    for stage in ("rearrange", "remap"):
+        counts = suite.mapping_stages[stage]
+        assert counts["hits"] + counts["misses"] > 0
+    # The exploration itself is flow-agnostic: same selection as default.
+    default_report, _ = CampaignRunner(small_spec).run()
+    assert default_report.flow == {}
+    assert [s.selected for s in report.suites] == [s.selected for s in default_report.suites]
+    assert results["h264"].selected is not None
+
+
+def test_runner_rejects_mapper_and_flow_together(small_spec):
+    from repro.mapping.mapper import RSPMapper
+
+    with pytest.raises(ValueError, match="already carries its pipeline and flow"):
+        CampaignRunner(small_spec, mapper=RSPMapper(), flow=RACE_FLOW)
+
+
+def test_cli_flow_runs_and_reports_routed_nodes(tmp_path, capsys):
+    flow_path = tmp_path / "flow.json"
+    flow_path.write_text(json.dumps(RACE_FLOW))
+    output = tmp_path / "report.json"
+    assert main([
+        "--suite", "h264", "--max-rows-shared", "1", "--max-cols-shared", "1",
+        "--no-cache", "--flow", str(flow_path), "--output", str(output),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "flow: race" in out
+    payload = json.loads(output.read_text())
+    assert payload["report"]["flow"]["name"] == "race"
+    assert "remap" in payload["report"]["mapping_stages"]
+
+
+def test_cli_flow_is_rejected_in_worker_mode(tmp_path, capsys):
+    flow_path = tmp_path / "flow.json"
+    flow_path.write_text(json.dumps(RACE_FLOW))
+    code = main([
+        "--suite", "h264", "--worker", "--coordinator", str(tmp_path / "coord"),
+        "--flow", str(flow_path), "--quiet",
+    ])
+    assert code == 2
+    assert "--flow is not supported in worker mode" in capsys.readouterr().err

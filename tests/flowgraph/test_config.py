@@ -1,0 +1,263 @@
+"""Flow configs: loading, validation diagnostics, and the example flows."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.errors import FlowValidationError
+from repro.flowgraph.config import (
+    flow_from_config,
+    load_flow_config,
+    resolve_condition,
+)
+from repro.flowgraph.core import Flow, FlowContext, Node
+from repro.mapping.pipeline import MappingPipeline
+
+
+# ----------------------------------------------------------------------
+# Toy registry
+# ----------------------------------------------------------------------
+def toy_registry():
+    """Fresh-node factories for a tiny fan-out/join flow over ``x``."""
+    return {
+        "start": lambda: Node("start", lambda ctx: ctx["x"], inputs=("x",), output="seed"),
+        "double": lambda: Node(
+            "double", lambda ctx: ctx["seed"] * 2, inputs=("seed",), output="scaled"
+        ),
+        "triple": lambda: Node(
+            "triple", lambda ctx: ctx["seed"] * 3, inputs=("seed",), output="scaled"
+        ),
+        "report": lambda: Node(
+            "report", lambda ctx: {"value": ctx["scaled"]}, inputs=("scaled",), output="out"
+        ),
+    }
+
+
+TOY_CONDITIONS = {"positive": lambda ctx: ctx["x"] > 0}
+
+
+def toy_config(**overrides):
+    config = {
+        "name": "toy",
+        "edges": ["start >> (double | triple) >> report"],
+        "nodes": {
+            "double": {"when": "positive"},
+            "triple": {"when": "!positive"},
+        },
+    }
+    config.update(overrides)
+    return config
+
+
+def build(config):
+    return flow_from_config(
+        config, registry=toy_registry(), conditions=TOY_CONDITIONS, inputs=("x",)
+    )
+
+
+def run(flow, x):
+    ctx = FlowContext({"x": x}, keys={"x": repr(x)})
+    return flow.run(context=ctx)
+
+
+# ----------------------------------------------------------------------
+# Happy path
+# ----------------------------------------------------------------------
+def test_config_builds_a_routed_flow():
+    flow = build(toy_config())
+    assert isinstance(flow, Flow)
+    assert flow.name == "toy"
+    assert run(flow, 5)["out"] == {"value": 10}  # positive -> double
+    assert run(flow, -5)["out"] == {"value": -15}  # !positive -> triple
+
+
+def test_condition_labels_survive_into_nodes():
+    flow = build(toy_config())
+    by_name = {node.name: node for node in flow.nodes}
+    assert by_name["double"].when_label == "positive"
+    assert by_name["triple"].when_label == "!positive"
+
+
+def test_retry_and_persistence_overrides():
+    config = toy_config()
+    config["nodes"]["double"]["retry"] = {"max_attempts": 3, "backoff_s": 0.5}
+    config["nodes"]["double"]["persistent"] = False
+    flow = build(config)
+    node = {n.name: n for n in flow.nodes}["double"]
+    assert node.retry.max_attempts == 3
+    assert node.retry.backoff_s == 0.5
+    assert node.persistent is False
+
+
+def test_selector_string_shorthand_and_object_form():
+    shorthand = build(toy_config(select={"scaled": "value"}))
+    assert shorthand.select["scaled"].metric == "value"
+    assert shorthand.select["scaled"].mode == "min"
+
+    explicit = build(toy_config(select={"scaled": {"metric": "value", "mode": "max"}}))
+    assert explicit.select["scaled"].mode == "max"
+
+
+def test_config_inputs_merge_with_caller_inputs():
+    flow = build(toy_config(inputs=["x", "budget"]))
+    assert list(flow.inputs) == ["x", "budget"]
+
+
+def test_fresh_nodes_per_flow():
+    """Per-flow overrides never leak between flows built from one registry."""
+    registry = toy_registry()
+    first = flow_from_config(
+        toy_config(), registry=registry, conditions=TOY_CONDITIONS, inputs=("x",)
+    )
+    second = flow_from_config(
+        {"name": "bare", "edges": ["start >> double >> report"]},
+        registry=registry,
+        conditions=TOY_CONDITIONS,
+        inputs=("x",),
+    )
+    assert {n.name: n for n in second.nodes}["double"].when is None
+    assert {n.name: n for n in first.nodes}["double"].when is not None
+
+
+# ----------------------------------------------------------------------
+# load_flow_config
+# ----------------------------------------------------------------------
+def test_load_flow_config_copies_mappings():
+    source = {"edges": ["a"]}
+    loaded = load_flow_config(source)
+    assert loaded == source and loaded is not source
+
+
+def test_load_flow_config_reads_json_paths(tmp_path):
+    path = tmp_path / "flow.json"
+    path.write_text(json.dumps(toy_config()))
+    assert load_flow_config(path)["name"] == "toy"
+    assert load_flow_config(str(path))["name"] == "toy"
+
+
+def test_load_flow_config_missing_file(tmp_path):
+    with pytest.raises(FlowValidationError, match="cannot read flow config"):
+        load_flow_config(tmp_path / "absent.json")
+
+
+def test_load_flow_config_invalid_json(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(FlowValidationError, match="not valid JSON"):
+        load_flow_config(path)
+
+
+def test_load_flow_config_rejects_non_objects(tmp_path):
+    path = tmp_path / "list.json"
+    path.write_text("[1, 2]")
+    with pytest.raises(FlowValidationError, match="must hold a JSON object, not list"):
+        load_flow_config(path)
+
+
+# ----------------------------------------------------------------------
+# resolve_condition
+# ----------------------------------------------------------------------
+def test_resolve_condition_negation():
+    ctx = FlowContext({"x": 1})
+    assert resolve_condition("positive", TOY_CONDITIONS)(ctx) is True
+    assert resolve_condition("!positive", TOY_CONDITIONS)(ctx) is False
+
+
+def test_resolve_condition_unknown_lists_available():
+    with pytest.raises(FlowValidationError, match=r"unknown flow condition 'missing'"):
+        resolve_condition("!missing", TOY_CONDITIONS)
+    with pytest.raises(FlowValidationError, match=r"available: \['positive'\]"):
+        resolve_condition("missing", TOY_CONDITIONS)
+
+
+# ----------------------------------------------------------------------
+# Validation diagnostics
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "mutate, fragment",
+    [
+        (lambda c: c.update(surprise=1), "flow config has unknown key(s) ['surprise']"),
+        (lambda c: c.pop("edges"), "needs an 'edges' entry"),
+        (lambda c: c.update(nodes=["double"]), "'nodes' must map node names to objects"),
+        (
+            lambda c: c["nodes"].update(ghost={}),
+            "configures node 'ghost', which no edge expression mentions",
+        ),
+        (
+            lambda c: c["nodes"]["double"].update(color="red"),
+            "config of node 'double' has unknown key(s) ['color']",
+        ),
+        (
+            lambda c: c["nodes"]["double"].update(when=7),
+            "'when' must be a condition name string",
+        ),
+        (
+            lambda c: c["nodes"]["double"].update(retry=3),
+            "'retry' must be an object",
+        ),
+        (
+            lambda c: c["nodes"]["double"].update(retry={"tries": 3}),
+            "retry policy of node 'double' has unknown key(s) ['tries']",
+        ),
+        (
+            lambda c: c.update(select={"scaled": {"mode": "min"}}),
+            "selector for output 'scaled' needs a 'metric'",
+        ),
+        (
+            lambda c: c.update(select={"scaled": {"metric": "value", "goal": "min"}}),
+            "selector for output 'scaled' has unknown key(s) ['goal']",
+        ),
+        (
+            lambda c: c.update(select={"scaled": ["value"]}),
+            "must be a metric string or an object, not list",
+        ),
+    ],
+)
+def test_config_validation_names_the_problem(mutate, fragment):
+    config = toy_config()
+    mutate(config)
+    with pytest.raises(FlowValidationError) as excinfo:
+        build(config)
+    assert fragment in str(excinfo.value)
+
+
+def test_unregistered_node_cites_expression_and_registry():
+    config = toy_config(edges=["start >> warp >> report"], nodes={})
+    with pytest.raises(FlowValidationError) as excinfo:
+        build(config)
+    message = str(excinfo.value)
+    assert "no registered node named 'warp'" in message
+    assert "'start >> warp >> report'" in message
+    assert "registered:" in message
+
+
+def test_unknown_condition_in_node_config():
+    config = toy_config()
+    config["nodes"]["double"]["when"] = "lucky"
+    with pytest.raises(FlowValidationError, match="unknown flow condition 'lucky'"):
+        build(config)
+
+
+# ----------------------------------------------------------------------
+# The shipped example flows
+# ----------------------------------------------------------------------
+EXAMPLE_FLOWS = Path(__file__).resolve().parents[2] / "examples" / "flows"
+
+
+@pytest.mark.parametrize("example", ["skip_rearrange", "race_mappers"])
+def test_example_flows_build_against_the_mapping_registry(example):
+    pipeline = MappingPipeline(flow=EXAMPLE_FLOWS / f"{example}.json")
+    description = pipeline.describe_flow()
+    assert description["name"] == example
+    assert "build_dfg" in description["nodes"]
+    assert any("generate_context" in text for text in description["edges"])
+
+
+def test_race_mappers_example_declares_the_selector():
+    pipeline = MappingPipeline(flow=EXAMPLE_FLOWS / "race_mappers.json")
+    selector = pipeline.flow.select["rearranged"]
+    assert selector.metric == "summary.cycles"
+    assert selector.mode == "min"

@@ -1,0 +1,126 @@
+"""Edge-expression DSL: parsing, flattening, canonical rendering, errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FlowParseError
+from repro.flowgraph.dsl import (
+    Alt,
+    Chain,
+    Ref,
+    parse_edges,
+    parse_expression,
+    render_edges,
+    render_expression,
+)
+
+
+# ----------------------------------------------------------------------
+# Parsing + flattening
+# ----------------------------------------------------------------------
+def test_plain_chain_declares_edges_in_order():
+    graph = parse_edges("a >> b >> c")
+    assert graph.nodes == ["a", "b", "c"]
+    assert graph.edges == [("a", "b"), ("b", "c")]
+    assert graph.groups == []
+
+
+def test_alternative_group_fans_out_and_joins():
+    graph = parse_edges("a >> (b | c) >> d")
+    assert graph.edges == [("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")]
+    assert graph.groups == [("b", "c")]
+
+
+def test_branch_may_be_a_chain():
+    graph = parse_edges("a >> (b >> c | d) >> e")
+    assert graph.edges == [
+        ("b", "c"),
+        ("a", "b"),
+        ("a", "d"),
+        ("c", "e"),
+        ("d", "e"),
+    ]
+    # The group records each branch's *entry* node.
+    assert graph.groups == [("b", "d")]
+
+
+def test_multiple_expressions_merge_without_duplicate_edges():
+    graph = parse_edges(
+        [
+            "build_dfg >> base_schedule >> extract_profile",
+            "base_schedule >> (rearrange | passthrough) >> generate_context",
+        ]
+    )
+    assert graph.nodes == [
+        "build_dfg",
+        "base_schedule",
+        "extract_profile",
+        "rearrange",
+        "passthrough",
+        "generate_context",
+    ]
+    assert ("base_schedule", "rearrange") in graph.edges
+    assert ("base_schedule", "passthrough") in graph.edges
+    assert graph.groups == [("rearrange", "passthrough")]
+    assert len(graph.edges) == len(set(graph.edges))
+
+
+def test_single_name_expression():
+    graph = parse_edges("solo")
+    assert graph.nodes == ["solo"]
+    assert graph.edges == []
+
+
+# ----------------------------------------------------------------------
+# Canonical rendering
+# ----------------------------------------------------------------------
+def test_render_is_canonical_and_round_trip_stable():
+    messy = "a>>  ( b|c )>>d"
+    graph = parse_edges(messy)
+    assert graph.expressions == ["a >> (b | c) >> d"]
+    assert render_edges(parse_edges(render_edges(graph))) == render_edges(graph)
+
+
+def test_redundant_parentheses_collapse():
+    assert render_expression(parse_expression("(a) >> b")) == "a >> b"
+    assert render_expression(parse_expression("((a | b))")) == "(a | b)"
+
+
+def test_nested_chain_branch_renders_with_parentheses():
+    text = "a >> (b >> c | d) >> e"
+    rendered = render_expression(parse_expression(text))
+    assert rendered == text
+    assert parse_expression(rendered) == parse_expression(text)
+
+
+def test_ast_shapes():
+    assert parse_expression("x") == Ref("x")
+    assert parse_expression("x >> y") == Chain((Ref("x"), Ref("y")))
+    assert parse_expression("(x | y)") == Alt((Ref("x"), Ref("y")))
+
+
+# ----------------------------------------------------------------------
+# Errors
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "text, fragment",
+    [
+        ("", "empty edge expression"),
+        ("a >> >> b", "expected a node name"),
+        ("a >> (b | ) >> c", "expected a node name"),
+        ("a >> (b | c", "expected ')'"),
+        ("a | b) >> c", "trailing tokens"),
+        ("a @ b", "unexpected character"),
+        ("a b", "trailing tokens"),
+    ],
+)
+def test_parse_errors_name_the_problem(text, fragment):
+    with pytest.raises(FlowParseError) as excinfo:
+        parse_edges(text)
+    assert fragment in str(excinfo.value)
+
+
+def test_empty_expression_list_is_rejected():
+    with pytest.raises(FlowParseError, match="at least one edge expression"):
+        parse_edges([])

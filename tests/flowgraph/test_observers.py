@@ -1,0 +1,165 @@
+"""The unified campaign-observer protocol and its flow-graph integration."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.flowgraph.core import Flow, FlowContext, Node, NodeEvent
+from repro.observers import CampaignObserver, MultiObserver, compose_observers
+from repro.trace.collect import TracingWaveObserver
+from repro.trace.spans import Tracer
+
+
+class Recorder(CampaignObserver):
+    """Records every callback as (method, args) tuples."""
+
+    def __init__(self, tag=""):
+        self.tag = tag
+        self.calls = []
+
+    def wave_started(self, wave_index, job_count):
+        self.calls.append(("wave_started", wave_index, job_count))
+
+    def wave_finished(self, outcome):
+        self.calls.append(("wave_finished", outcome))
+
+    def base_evaluated(self, key, evaluation, source, feasible):
+        self.calls.append(("base_evaluated", key, evaluation, source, feasible))
+
+    def node_finished(self, event):
+        self.calls.append(("node_finished", event))
+
+
+class WaveOnly:
+    """A legacy-shaped observer implementing only part of the protocol."""
+
+    def __init__(self):
+        self.waves = []
+
+    def wave_started(self, wave_index, job_count):
+        self.waves.append((wave_index, job_count))
+
+
+def event(node="double", routed=False):
+    return NodeEvent(
+        flow="toy", node=node, output="out", key="k", hit=False, seconds=0.0, routed=routed
+    )
+
+
+# ----------------------------------------------------------------------
+# Base protocol + composition
+# ----------------------------------------------------------------------
+def test_base_observer_is_a_no_op():
+    observer = CampaignObserver()
+    observer.wave_started(0, 3)
+    observer.wave_finished(object())
+    observer.base_evaluated("key", object(), "computed", True)
+    observer.node_finished(event())
+
+
+def test_multi_observer_fans_out_in_order():
+    first, second = Recorder("a"), Recorder("b")
+    multi = MultiObserver([first, second])
+    multi.wave_started(1, 4)
+    multi.base_evaluated("key", "eval", "cache", False)
+    multi.node_finished(event())
+    assert first.calls == second.calls
+    assert [name for name, *_ in first.calls] == [
+        "wave_started",
+        "base_evaluated",
+        "node_finished",
+    ]
+
+
+def test_multi_observer_skips_callbacks_members_lack():
+    partial = WaveOnly()
+    full = Recorder()
+    multi = MultiObserver([partial, full])
+    multi.wave_started(2, 8)
+    multi.node_finished(event())  # must not raise on the partial member
+    assert partial.waves == [(2, 8)]
+    assert [name for name, *_ in full.calls] == ["wave_started", "node_finished"]
+
+
+def test_compose_observers_collapses():
+    assert compose_observers() is None
+    assert compose_observers(None, None) is None
+    single = Recorder()
+    assert compose_observers(None, single, None) is single
+    multi = compose_observers(single, Recorder())
+    assert isinstance(multi, MultiObserver)
+    assert len(multi.observers) == 2
+
+
+# ----------------------------------------------------------------------
+# Flow runtime emission
+# ----------------------------------------------------------------------
+def test_flow_run_emits_node_events_to_a_composed_observer():
+    flow = Flow(
+        [
+            Node("double", lambda ctx: ctx["x"] * 2, inputs=("x",), output="doubled"),
+            Node("square", lambda ctx: ctx["doubled"] ** 2, inputs=("doubled",), output="squared"),
+        ],
+        "double >> square",
+        name="toy",
+        inputs=("x",),
+    )
+    recorder = Recorder()
+    observer = compose_observers(None, recorder)
+    flow.run(context=FlowContext({"x": 3}, keys={"x": "3"}), observer=observer)
+    events = [args[0] for name, *args in recorder.calls if name == "node_finished"]
+    assert [e.node for e in events] == ["double", "square"]
+    assert all(e.flow == "toy" and not e.hit for e in events)
+
+
+# ----------------------------------------------------------------------
+# TracingWaveObserver: routing counters
+# ----------------------------------------------------------------------
+def test_tracing_observer_counts_routed_nodes_only():
+    tracer = Tracer()
+    observer = TracingWaveObserver(tracer, suite="paper")
+    observer.node_finished(event(node="rearrange", routed=True))
+    observer.node_finished(event(node="rearrange", routed=True))
+    observer.node_finished(event(node="base_schedule", routed=False))
+    batch = tracer.drain()
+    assert batch.counters == {"flow.routed.rearrange": 2.0}
+
+
+def test_tracing_observer_speaks_the_unified_protocol():
+    assert isinstance(TracingWaveObserver(Tracer(), suite="s"), CampaignObserver)
+
+
+# ----------------------------------------------------------------------
+# Deprecation shims for the moved names
+# ----------------------------------------------------------------------
+def test_trace_collect_shims_warn_and_delegate():
+    import repro.trace.collect as collect
+
+    with pytest.warns(DeprecationWarning, match="repro.observers.MultiObserver"):
+        assert collect.MultiWaveObserver is MultiObserver
+    with pytest.warns(DeprecationWarning, match="repro.observers.compose_observers"):
+        assert collect.compose_observers is compose_observers
+    with pytest.raises(AttributeError):
+        collect.never_existed
+
+
+def test_mapping_pipeline_stats_shims_warn_and_delegate():
+    import repro.flowgraph.stats as flowstats
+    import repro.mapping.pipeline as pipeline
+
+    with pytest.warns(DeprecationWarning, match="moved to repro.flowgraph.stats"):
+        assert pipeline.PipelineStats is flowstats.PipelineStats
+    with pytest.warns(DeprecationWarning):
+        assert pipeline.stage_timings_as_dict is flowstats.stage_timings_as_dict
+    with pytest.raises(AttributeError):
+        pipeline.never_existed
+
+
+def test_executor_wave_observer_is_the_unified_base():
+    from repro.engine.executor import WaveObserver
+
+    assert issubclass(WaveObserver, CampaignObserver)
+    # The subclass adds no behaviour of its own: one protocol, one base.
+    assert WaveObserver().wave_started.__func__ is CampaignObserver.wave_started

@@ -1,0 +1,69 @@
+"""Property tests: the edge-expression DSL round-trips through its renderer.
+
+Strategy: generate *canonical* ASTs — the shapes the parser itself
+produces (no single-element chains or alternatives, no nested chains
+inside chains) — render them, and require the parse of the rendering to
+reproduce the AST exactly.  Canonical rendering is what flow configs are
+persisted and diffed as, so ``parse ∘ render = id`` is a real contract,
+not a curiosity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.flowgraph.dsl import (
+    Alt,
+    Chain,
+    Ref,
+    parse_edges,
+    parse_expression,
+    render_edges,
+    render_expression,
+)
+
+NAMES = st.from_regex(r"[A-Za-z_][A-Za-z0-9_]{0,5}", fullmatch=True)
+
+REFS = st.builds(Ref, NAMES)
+
+#: A branch of an alternative: a plain node or a chain of plain nodes
+#: ("a >> (b >> c | d) >> e").
+BRANCHES = REFS | st.lists(REFS, min_size=2, max_size=3).map(lambda items: Chain(tuple(items)))
+
+ALTS = st.lists(BRANCHES, min_size=2, max_size=3).map(lambda items: Alt(tuple(items)))
+
+#: A chain element: a plain node or a parenthesised alternative.
+GROUPS = REFS | ALTS
+
+CHAINS = st.lists(GROUPS, min_size=2, max_size=4).map(lambda items: Chain(tuple(items)))
+
+EXPRESSIONS = REFS | ALTS | CHAINS
+
+
+@given(EXPRESSIONS)
+def test_parse_inverts_render(expression):
+    assert parse_expression(render_expression(expression)) == expression
+
+
+@given(EXPRESSIONS)
+def test_rendering_is_a_fixed_point(expression):
+    rendered = render_expression(expression)
+    assert render_expression(parse_expression(rendered)) == rendered
+
+
+@given(st.lists(EXPRESSIONS, min_size=1, max_size=3))
+def test_edge_graphs_round_trip_through_their_expressions(expressions):
+    graph = parse_edges([render_expression(e) for e in expressions])
+    reparsed = parse_edges(render_edges(graph))
+    assert reparsed.nodes == graph.nodes
+    assert reparsed.edges == graph.edges
+    assert reparsed.groups == graph.groups
+    assert reparsed.expressions == graph.expressions
+
+
+@given(st.lists(EXPRESSIONS, min_size=1, max_size=3))
+def test_edges_never_duplicate_across_merged_expressions(expressions):
+    graph = parse_edges([render_expression(e) for e in expressions])
+    assert len(graph.edges) == len(set(graph.edges))
+    assert len(graph.nodes) == len(set(graph.nodes))

@@ -9,11 +9,10 @@ import pytest
 from repro.engine.executor import WaveObserver, WaveOutcome, WaveResult
 from repro.engine.stream import EventLog
 from repro.errors import TraceError
+from repro.observers import MultiObserver, compose_observers
 from repro.trace.collect import (
-    MultiWaveObserver,
     TraceCollector,
     TracingWaveObserver,
-    compose_observers,
     import_event_log,
     open_trace,
 )
@@ -113,7 +112,7 @@ def test_compose_observers_collapses_trivial_cases():
 def test_compose_observers_fans_out_in_order():
     first, second = RecordingObserver(), RecordingObserver()
     combined = compose_observers(first, None, second)
-    assert isinstance(combined, MultiWaveObserver)
+    assert isinstance(combined, MultiObserver)
     combined.wave_started(0, 5)
     combined.base_evaluated("k", evaluation(), "computed", True)
     combined.wave_finished(WaveOutcome(wave_index=0, results=()))
